@@ -1,0 +1,32 @@
+//! Figure 1: fraction of inconsequential multiply-adds per GAN generator.
+//!
+//! Benchmarks the operation-counting pass over every Table I generator and
+//! prints the regenerated figure once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganax_bench::figure1;
+use ganax_models::zoo;
+
+fn bench_fig1(c: &mut Criterion) {
+    let (rows, average) = figure1();
+    println!("\nFigure 1 (fraction of inconsequential MACs in TConv layers):");
+    for row in &rows {
+        println!("  {:<10} {:5.1}%", row.model, row.inconsequential_fraction * 100.0);
+    }
+    println!("  {:<10} {:5.1}%", "Average", average * 100.0);
+
+    let mut group = c.benchmark_group("fig1");
+    for gan in zoo::all_models() {
+        group.bench_function(&gan.name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    gan.generator.op_stats().tconv_inconsequential_fraction(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microarchitecture benches: the cycle-level machine and its building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganax::GanaxMachine;
+use ganax_isa::{AddrGenKind, ExecUop};
+use ganax_models::{Activation, Layer};
+use ganax_sim::{PeConfig, ProcessingEngine};
+use ganax_tensor::{ConvParams, Shape, Tensor};
+
+fn bench_microarch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microarch");
+
+    group.bench_function("strided_index_generator_1k_addresses", |b| {
+        b.iter(|| {
+            let mut pe = ProcessingEngine::new(PeConfig::roomy());
+            pe.configure_linear(AddrGenKind::Input, 0, 1, 1000, 1);
+            pe.start(AddrGenKind::Input);
+            let mut produced = 0u64;
+            for _ in 0..1200 {
+                pe.step();
+                produced += 1;
+            }
+            std::hint::black_box(produced)
+        })
+    });
+
+    group.bench_function("pe_dot_product_64", |b| {
+        let inputs: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+        let weights: Vec<f32> = (0..64).map(|i| 1.0 - i as f32 * 0.01).collect();
+        b.iter(|| {
+            let mut pe = ProcessingEngine::new(PeConfig::roomy());
+            pe.load_input(&inputs);
+            pe.load_weights(&weights);
+            pe.configure_linear(AddrGenKind::Input, 0, 1, 64, 1);
+            pe.configure_linear(AddrGenKind::Weight, 0, 1, 64, 1);
+            pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+            pe.start_all();
+            pe.set_repeat(64);
+            pe.push_uop(ExecUop::Repeat);
+            pe.push_uop(ExecUop::Mac);
+            pe.run_until_idle(10_000);
+            std::hint::black_box(pe.read_output(0))
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function("machine_tconv_8x8", |b| {
+        let layer = Layer::conv(
+            "bench-tconv",
+            Shape::new_2d(2, 8, 8),
+            2,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::None,
+        )
+        .unwrap();
+        let input = Tensor::from_fn_2d(2, 8, 8, |c, y, x| (c + y + x) as f32 * 0.1);
+        let weights = Tensor::filled(Shape::filter(2, 2, 1, 4, 4), 0.05);
+        let machine = GanaxMachine::paper();
+        b.iter(|| {
+            std::hint::black_box(
+                machine
+                    .execute_layer(&layer, &input, &weights)
+                    .unwrap()
+                    .busy_pe_cycles,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_microarch);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Tables I–III: workload inventory, energy model and area model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganax::GanaxConfig;
+use ganax_energy::{AreaModel, EnergyModel};
+use ganax_models::zoo;
+
+fn bench_tables(c: &mut Criterion) {
+    println!("\nTable I (layer counts):");
+    for gan in zoo::all_models() {
+        let (gc, gt, dc, dt) = gan.table_one_row();
+        println!(
+            "  {:<10} gen {}c/{}t  disc {}c/{}t",
+            gan.name, gc, gt, dc, dt
+        );
+    }
+    println!("\nTable II relative costs:");
+    for (name, rel) in EnergyModel::table_ii().relative_costs() {
+        println!("  {name:<26} {rel:5.1}x");
+    }
+    let area = AreaModel::table_iii();
+    println!("\nTable III:");
+    println!("  per-PE area        {:12.1} um^2", area.pe.total());
+    println!("  GANAX total        {:12.1} um^2", area.ganax_total());
+    println!("  Eyeriss total      {:12.1} um^2", area.eyeriss_total());
+    println!(
+        "  GANAX area overhead {:10.1}%",
+        GanaxConfig::paper().area_overhead() * 100.0
+    );
+
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_zoo_construction", |b| {
+        b.iter(|| std::hint::black_box(zoo::all_models().len()))
+    });
+    group.bench_function("table3_area_overhead", |b| {
+        b.iter(|| std::hint::black_box(AreaModel::table_iii().overhead_fraction()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Shared helpers for the GANAX benchmark harness.
+//!
+//! The `figures` binary and the Criterion benches both need the same
+//! machinery: run every Table I GAN on both accelerator models and format the
+//! results the way the paper's tables and figures report them. This crate
+//! collects that machinery so the harness entry points stay small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ganax::compare::{compare_all, geometric_mean, ModelComparison};
+use ganax_energy::EnergyCategory;
+use ganax_models::zoo;
+use serde::Serialize;
+
+/// One row of the Figure 1 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// GAN name.
+    pub model: String,
+    /// Fraction of transposed-convolution MACs that are inconsequential.
+    pub inconsequential_fraction: f64,
+}
+
+/// One row of the Figure 8 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// GAN name.
+    pub model: String,
+    /// Generator speedup of GANAX over Eyeriss (Figure 8a).
+    pub speedup: f64,
+    /// Generator energy reduction of GANAX over Eyeriss (Figure 8b).
+    pub energy_reduction: f64,
+}
+
+/// One row of the Figure 9 reproduction (normalized to the Eyeriss total).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// GAN name.
+    pub model: String,
+    /// Eyeriss discriminator share.
+    pub eyeriss_discriminative: f64,
+    /// Eyeriss generator share.
+    pub eyeriss_generative: f64,
+    /// GANAX discriminator share.
+    pub ganax_discriminative: f64,
+    /// GANAX generator share.
+    pub ganax_generative: f64,
+}
+
+/// One row of the Figure 10 reproduction (normalized to the Eyeriss total).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Row {
+    /// GAN name.
+    pub model: String,
+    /// Unit label (PE, RegF, NoC, GBuf, DRAM).
+    pub unit: &'static str,
+    /// Eyeriss share of its own total.
+    pub eyeriss: f64,
+    /// GANAX share of the Eyeriss total.
+    pub ganax: f64,
+}
+
+/// One row of the Figure 11 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Row {
+    /// GAN name.
+    pub model: String,
+    /// Eyeriss average PE utilization on the generator.
+    pub eyeriss_utilization: f64,
+    /// GANAX average PE utilization on the generator.
+    pub ganax_utilization: f64,
+}
+
+/// Runs the full zoo comparison once (shared by several figures).
+pub fn all_comparisons() -> Vec<ModelComparison> {
+    compare_all()
+}
+
+/// Figure 1 data: per-model inconsequential-MAC fractions plus the average.
+pub fn figure1() -> (Vec<Fig1Row>, f64) {
+    let rows: Vec<Fig1Row> = zoo::all_models()
+        .iter()
+        .map(|gan| Fig1Row {
+            model: gan.name.clone(),
+            inconsequential_fraction: gan
+                .generator
+                .op_stats()
+                .tconv_inconsequential_fraction(),
+        })
+        .collect();
+    let average =
+        rows.iter().map(|r| r.inconsequential_fraction).sum::<f64>() / rows.len() as f64;
+    (rows, average)
+}
+
+/// Figure 8 data plus the geometric means.
+pub fn figure8(comparisons: &[ModelComparison]) -> (Vec<Fig8Row>, f64, f64) {
+    let rows: Vec<Fig8Row> = comparisons
+        .iter()
+        .map(|c| Fig8Row {
+            model: c.gan_name.clone(),
+            speedup: c.generator_speedup(),
+            energy_reduction: c.generator_energy_reduction(),
+        })
+        .collect();
+    let speedup_geomean = geometric_mean(rows.iter().map(|r| r.speedup));
+    let energy_geomean = geometric_mean(rows.iter().map(|r| r.energy_reduction));
+    (rows, speedup_geomean, energy_geomean)
+}
+
+/// Figure 9 data: runtime (`energy = false`) or energy (`energy = true`)
+/// breakdown between discriminative and generative models.
+pub fn figure9(comparisons: &[ModelComparison], energy: bool) -> Vec<Fig9Row> {
+    comparisons
+        .iter()
+        .map(|c| {
+            let ((e_disc, e_gen), (g_disc, g_gen)) = if energy {
+                c.energy_breakdown()
+            } else {
+                c.runtime_breakdown()
+            };
+            Fig9Row {
+                model: c.gan_name.clone(),
+                eyeriss_discriminative: e_disc,
+                eyeriss_generative: e_gen,
+                ganax_discriminative: g_disc,
+                ganax_generative: g_gen,
+            }
+        })
+        .collect()
+}
+
+/// Figure 10 data: per-unit energy of the generators, normalized to Eyeriss.
+pub fn figure10(comparisons: &[ModelComparison]) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for c in comparisons {
+        for (category, eyeriss, ganax) in c.generator_unit_energy() {
+            rows.push(Fig10Row {
+                model: c.gan_name.clone(),
+                unit: category.label(),
+                eyeriss,
+                ganax,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 11 data: generator PE utilization on both accelerators.
+pub fn figure11(comparisons: &[ModelComparison]) -> Vec<Fig11Row> {
+    comparisons
+        .iter()
+        .map(|c| {
+            let (eyeriss, ganax) = c.generator_utilization();
+            Fig11Row {
+                model: c.gan_name.clone(),
+                eyeriss_utilization: eyeriss,
+                ganax_utilization: ganax,
+            }
+        })
+        .collect()
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Formats a ratio with an `x` suffix.
+pub fn ratio(x: f64) -> String {
+    format!("{x:4.2}x")
+}
+
+/// All five energy-category labels (Figure 10 legend).
+pub fn energy_labels() -> Vec<&'static str> {
+    EnergyCategory::ALL.iter().map(|c| c.label()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_six_rows_and_sensible_average() {
+        let (rows, average) = figure1();
+        assert_eq!(rows.len(), 6);
+        assert!(average > 0.6 && average < 0.9, "average = {average}");
+    }
+
+    #[test]
+    fn figure8_geomeans_are_in_paper_ballpark() {
+        let comparisons = all_comparisons();
+        let (rows, speedup, energy) = figure8(&comparisons);
+        assert_eq!(rows.len(), 6);
+        assert!(speedup > 2.0 && speedup < 6.0, "speedup geomean = {speedup}");
+        assert!(energy > 1.8 && energy < 6.0, "energy geomean = {energy}");
+    }
+
+    #[test]
+    fn figure9_rows_are_normalized() {
+        let comparisons = all_comparisons();
+        for row in figure9(&comparisons, false) {
+            assert!((row.eyeriss_discriminative + row.eyeriss_generative - 1.0).abs() < 1e-9);
+            assert!(row.ganax_discriminative + row.ganax_generative <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure10_has_five_units_per_model() {
+        let comparisons = all_comparisons();
+        let rows = figure10(&comparisons);
+        assert_eq!(rows.len(), 6 * 5);
+        assert_eq!(energy_labels().len(), 5);
+    }
+
+    #[test]
+    fn figure11_shows_ganax_above_eyeriss() {
+        let comparisons = all_comparisons();
+        for row in figure11(&comparisons) {
+            assert!(row.ganax_utilization > row.eyeriss_utilization, "{}", row.model);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(ratio(3.61), "3.61x");
+    }
+}

@@ -1,0 +1,215 @@
+//! GANAX-vs-Eyeriss comparison reports: the numbers behind Figures 8–11.
+
+use ganax_energy::{EnergyBreakdown, EnergyCategory};
+use ganax_eyeriss::{EyerissModel, NetworkStats};
+use ganax_models::GanModel;
+
+use crate::config::GanaxConfig;
+use crate::perf::GanaxModel;
+
+/// The complete head-to-head comparison of one GAN on the two accelerators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelComparison {
+    /// GAN name (Table I).
+    pub gan_name: String,
+    /// Eyeriss statistics for the generative model.
+    pub eyeriss_generator: NetworkStats,
+    /// GANAX statistics for the generative model.
+    pub ganax_generator: NetworkStats,
+    /// Eyeriss statistics for the discriminative model.
+    pub eyeriss_discriminator: NetworkStats,
+    /// GANAX statistics for the discriminative model.
+    pub ganax_discriminator: NetworkStats,
+}
+
+impl ModelComparison {
+    /// Runs a GAN on both accelerators with the paper's configuration.
+    pub fn compare(gan: &GanModel) -> Self {
+        Self::compare_with(gan, GanaxConfig::paper())
+    }
+
+    /// Runs a GAN on both accelerators with an explicit configuration.
+    pub fn compare_with(gan: &GanModel, config: GanaxConfig) -> Self {
+        let eyeriss = EyerissModel::new(config.base);
+        let ganax = GanaxModel::new(config);
+        ModelComparison {
+            gan_name: gan.name.clone(),
+            eyeriss_generator: eyeriss.run_network(&gan.generator),
+            ganax_generator: ganax.run_network(&gan.generator),
+            eyeriss_discriminator: eyeriss.run_network(&gan.discriminator),
+            ganax_discriminator: ganax.run_network(&gan.discriminator),
+        }
+    }
+
+    /// Figure 8a: speedup of the generative model on GANAX over Eyeriss.
+    pub fn generator_speedup(&self) -> f64 {
+        self.eyeriss_generator.total_cycles() as f64
+            / self.ganax_generator.total_cycles().max(1) as f64
+    }
+
+    /// Figure 8b: energy reduction of the generative model.
+    pub fn generator_energy_reduction(&self) -> f64 {
+        self.eyeriss_generator.total_energy().total_pj()
+            / self.ganax_generator.total_energy().total_pj().max(f64::MIN_POSITIVE)
+    }
+
+    /// Speedup of the discriminative model (expected ≈ 1.0).
+    pub fn discriminator_speedup(&self) -> f64 {
+        self.eyeriss_discriminator.total_cycles() as f64
+            / self.ganax_discriminator.total_cycles().max(1) as f64
+    }
+
+    /// Energy ratio of the discriminative model (expected ≈ 1.0).
+    pub fn discriminator_energy_ratio(&self) -> f64 {
+        self.eyeriss_discriminator.total_energy().total_pj()
+            / self
+                .ganax_discriminator
+                .total_energy()
+                .total_pj()
+                .max(f64::MIN_POSITIVE)
+    }
+
+    /// Figure 9a: runtime split between the discriminative and generative
+    /// models, for Eyeriss and GANAX, both normalized to the Eyeriss total.
+    /// Returns `((disc, gen) for Eyeriss, (disc, gen) for GANAX)`.
+    pub fn runtime_breakdown(&self) -> ((f64, f64), (f64, f64)) {
+        let eyeriss_total = (self.eyeriss_discriminator.total_cycles()
+            + self.eyeriss_generator.total_cycles()) as f64;
+        let e = (
+            self.eyeriss_discriminator.total_cycles() as f64 / eyeriss_total,
+            self.eyeriss_generator.total_cycles() as f64 / eyeriss_total,
+        );
+        let g = (
+            self.ganax_discriminator.total_cycles() as f64 / eyeriss_total,
+            self.ganax_generator.total_cycles() as f64 / eyeriss_total,
+        );
+        (e, g)
+    }
+
+    /// Figure 9b: energy split between the discriminative and generative
+    /// models, normalized to the Eyeriss total.
+    pub fn energy_breakdown(&self) -> ((f64, f64), (f64, f64)) {
+        let eyeriss_total = self.eyeriss_discriminator.total_energy().total_pj()
+            + self.eyeriss_generator.total_energy().total_pj();
+        let e = (
+            self.eyeriss_discriminator.total_energy().total_pj() / eyeriss_total,
+            self.eyeriss_generator.total_energy().total_pj() / eyeriss_total,
+        );
+        let g = (
+            self.ganax_discriminator.total_energy().total_pj() / eyeriss_total,
+            self.ganax_generator.total_energy().total_pj() / eyeriss_total,
+        );
+        (e, g)
+    }
+
+    /// Figure 10: per-unit energy of the generative model for both
+    /// accelerators, normalized to the Eyeriss total. Returns the categories in
+    /// `EnergyCategory::ALL` order.
+    pub fn generator_unit_energy(&self) -> Vec<(EnergyCategory, f64, f64)> {
+        let eyeriss: EnergyBreakdown = self.eyeriss_generator.total_energy();
+        let ganax: EnergyBreakdown = self.ganax_generator.total_energy();
+        let total = eyeriss.total_pj();
+        EnergyCategory::ALL
+            .iter()
+            .map(|c| {
+                (
+                    *c,
+                    eyeriss.category(*c) / total,
+                    ganax.category(*c) / total,
+                )
+            })
+            .collect()
+    }
+
+    /// Figure 11: average PE utilization of the generative model on Eyeriss and
+    /// GANAX.
+    pub fn generator_utilization(&self) -> (f64, f64) {
+        (
+            self.eyeriss_generator.average_utilization(),
+            self.ganax_generator.average_utilization(),
+        )
+    }
+}
+
+/// Runs the comparison for every GAN in the Table I zoo.
+pub fn compare_all() -> Vec<ModelComparison> {
+    ganax_models::zoo::all_models()
+        .iter()
+        .map(ModelComparison::compare)
+        .collect()
+}
+
+/// Geometric mean of an iterator of positive values (used for the "Geomean"
+/// columns of Figure 8).
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum, count) = values
+        .into_iter()
+        .fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if count == 0 {
+        return 0.0;
+    }
+    (sum / count as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganax_models::zoo;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(Vec::<f64>::new()), 0.0);
+        assert!((geometric_mean([3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dcgan_report_matches_expected_shape() {
+        let report = ModelComparison::compare(&zoo::dcgan());
+        assert!(report.generator_speedup() > 2.0);
+        assert!(report.generator_energy_reduction() > 1.5);
+        assert!((report.discriminator_speedup() - 1.0).abs() < 0.05);
+        assert!((report.discriminator_energy_ratio() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn runtime_breakdown_normalizes_to_eyeriss() {
+        let report = ModelComparison::compare(&zoo::dcgan());
+        let ((e_disc, e_gen), (g_disc, g_gen)) = report.runtime_breakdown();
+        assert!((e_disc + e_gen - 1.0).abs() < 1e-9);
+        // GANAX's total is strictly smaller than Eyeriss's.
+        assert!(g_disc + g_gen < 1.0);
+        assert!(g_gen < e_gen);
+    }
+
+    #[test]
+    fn energy_breakdown_normalizes_to_eyeriss() {
+        let report = ModelComparison::compare(&zoo::three_d_gan());
+        let ((e_disc, e_gen), (g_disc, g_gen)) = report.energy_breakdown();
+        assert!((e_disc + e_gen - 1.0).abs() < 1e-9);
+        assert!(g_disc + g_gen < 1.0);
+        assert!(g_gen < e_gen);
+    }
+
+    #[test]
+    fn unit_energy_shows_reduction_in_every_category() {
+        let report = ModelComparison::compare(&zoo::dcgan());
+        for (category, eyeriss, ganax) in report.generator_unit_energy() {
+            assert!(
+                ganax <= eyeriss + 1e-12,
+                "{}: {ganax} > {eyeriss}",
+                category.label()
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_improves_for_every_gan() {
+        for gan in zoo::all_models() {
+            let report = ModelComparison::compare(&gan);
+            let (eyeriss, ganax) = report.generator_utilization();
+            assert!(ganax > eyeriss, "{}: {ganax} <= {eyeriss}", gan.name);
+            assert!(ganax > 0.55, "{}: GANAX utilization = {ganax}", gan.name);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! GANAX accelerator configuration.
+
+use ganax_dataflow::ArrayConfig;
+use ganax_energy::{AreaModel, EnergyModel};
+use ganax_eyeriss::AcceleratorConfig;
+use ganax_sim::PeConfig;
+
+/// Configuration of the GANAX accelerator.
+///
+/// GANAX shares the PE-array organization, clock and on-chip memory sizes of
+/// the Eyeriss baseline (Section V: "the same number of PEs and on-chip memory
+/// are used for both accelerators") and adds the µop-buffer and access-engine
+/// sizing of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GanaxConfig {
+    /// The shared accelerator configuration (array, clock, energy model).
+    pub base: AcceleratorConfig,
+    /// Per-PE sizing used by the cycle-level machine.
+    pub pe: PeConfig,
+    /// Area model (Table III).
+    pub area: AreaModel,
+}
+
+impl GanaxConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        GanaxConfig {
+            base: AcceleratorConfig::paper(),
+            pe: PeConfig::paper(),
+            area: AreaModel::table_iii(),
+        }
+    }
+
+    /// The PE-array organization.
+    pub fn array(&self) -> ArrayConfig {
+        self.base.array
+    }
+
+    /// The energy model.
+    pub fn energy(&self) -> EnergyModel {
+        self.base.energy
+    }
+
+    /// Fractional area overhead of GANAX over the baseline (≈7.8 %).
+    pub fn area_overhead(&self) -> f64 {
+        self.area.overhead_fraction()
+    }
+}
+
+impl Default for GanaxConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_the_baseline() {
+        let cfg = GanaxConfig::paper();
+        assert_eq!(cfg.array().total_pes(), 256);
+        assert_eq!(cfg.base.frequency_hz, 500.0e6);
+        assert_eq!(cfg.energy().pe_pj_per_bit, 0.36);
+    }
+
+    #[test]
+    fn area_overhead_is_about_7_8_percent() {
+        let overhead = GanaxConfig::paper().area_overhead();
+        assert!(overhead > 0.07 && overhead < 0.085, "overhead = {overhead}");
+    }
+}

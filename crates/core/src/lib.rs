@@ -1,0 +1,44 @@
+//! GANAX: a unified MIMD-SIMD accelerator for generative adversarial networks.
+//!
+//! This crate is the primary contribution of the reproduction: the GANAX
+//! accelerator model itself, built on the substrates of the sibling crates.
+//!
+//! * [`compiler`](GanaxCompiler) lowers a layer description into the µop
+//!   program of Section IV: access-engine configurations, per-PV local µop
+//!   images and the global SIMD / MIMD-SIMD µop sequence.
+//! * [`machine`](GanaxMachine) executes small layers cycle-by-cycle on the
+//!   decoupled access-execute PE array of `ganax-sim`, producing actual output
+//!   feature maps that are validated against the `ganax-tensor` references.
+//! * [`perf`](GanaxModel) is the layer-level performance and energy model that
+//!   evaluates full GAN workloads (the counterpart of
+//!   [`EyerissModel`](ganax_eyeriss::EyerissModel)).
+//! * [`compare`](compare::ModelComparison) runs a GAN on both accelerators and
+//!   derives every number the paper's evaluation section reports: speedup,
+//!   energy reduction, runtime/energy breakdowns and PE utilization.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax::compare::ModelComparison;
+//! use ganax_models::zoo;
+//!
+//! let report = ModelComparison::compare(&zoo::dcgan());
+//! // DCGAN's generator is dominated by stride-2 transposed convolutions, so
+//! // GANAX speeds it up substantially while the discriminator is unaffected.
+//! assert!(report.generator_speedup() > 2.0);
+//! assert!((report.discriminator_speedup() - 1.0).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+mod compiler;
+mod config;
+mod machine;
+mod perf;
+
+pub use compiler::GanaxCompiler;
+pub use config::GanaxConfig;
+pub use machine::{GanaxMachine, MachineError, MachineRun};
+pub use perf::{AblationVariant, GanaxModel};

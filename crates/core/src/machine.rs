@@ -1,0 +1,572 @@
+//! The cycle-level GANAX machine: executes small 2-D layers on the decoupled
+//! access-execute PE array and produces actual output feature maps.
+//!
+//! The machine is the functional-validation half of the reproduction: it drives
+//! the `ganax-sim` PEs with real strided-index-generator configurations derived
+//! from the reorganized dataflow, computes the layer's outputs, and is checked
+//! against the `ganax-tensor` reference implementations. Whole-GAN performance
+//! numbers come from the analytic [`GanaxModel`](crate::GanaxModel); the
+//! machine is what justifies that model's per-pass assumptions.
+//!
+//! Scope: 2-D convolution and transposed-convolution layers (the volumetric
+//! 3D-GAN layers exercise the same per-axis machinery through the performance
+//! model; simulating them at cycle level is prohibitively slow and adds no
+//! functional coverage).
+
+use std::fmt;
+
+use ganax_dataflow::LayerGeometry;
+use ganax_energy::EventCounts;
+use ganax_isa::{AddrGenKind, ExecUop};
+use ganax_models::{Layer, LayerOp};
+use ganax_sim::{GeneratorConfig, PeConfig, ProcessingEngine};
+use ganax_tensor::{ConvKind, ConvParams, Shape, Tensor, ZeroInsertion};
+
+use crate::config::GanaxConfig;
+
+/// Errors produced by the cycle-level machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The layer kind is not supported by the cycle-level machine.
+    Unsupported {
+        /// Description of the unsupported feature.
+        detail: String,
+    },
+    /// The provided tensors do not match the layer description.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A PE failed to converge within the cycle budget.
+    Timeout {
+        /// The layer that timed out.
+        layer: String,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Unsupported { detail } => write!(f, "unsupported layer: {detail}"),
+            MachineError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            MachineError::Timeout { layer } => write!(f, "layer `{layer}` did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The result of executing a layer on the cycle-level machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineRun {
+    /// The computed output feature map (pre-activation).
+    pub output: Tensor,
+    /// Cycles in which PEs performed arithmetic (sums over all PEs).
+    pub busy_pe_cycles: u64,
+    /// Aggregated activity counts of every PE used.
+    pub counts: EventCounts,
+    /// Number of (output row, filter tap, channel) work units executed.
+    pub work_units: u64,
+}
+
+/// The cycle-level GANAX machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GanaxMachine {
+    config: GanaxConfig,
+}
+
+/// Per-output-column addressing of one consequential compute node.
+struct ColumnRun {
+    /// First input column of the run.
+    input_start: usize,
+    /// First kernel column of the run.
+    kernel_start: usize,
+    /// Kernel-column stride between consecutive taps.
+    kernel_step: usize,
+    /// Number of consequential taps.
+    taps: usize,
+}
+
+impl GanaxMachine {
+    /// Creates a machine for a configuration.
+    pub fn new(config: GanaxConfig) -> Self {
+        GanaxMachine { config }
+    }
+
+    /// Creates a machine for the paper's configuration.
+    pub fn paper() -> Self {
+        Self::new(GanaxConfig::paper())
+    }
+
+    /// Executes one 2-D convolution or transposed-convolution layer, returning
+    /// the computed output and the activity counters.
+    ///
+    /// # Errors
+    /// Returns [`MachineError::Unsupported`] for projections and volumetric
+    /// layers, [`MachineError::ShapeMismatch`] when the tensors do not match
+    /// the layer, and [`MachineError::Timeout`] if a PE fails to drain.
+    pub fn execute_layer(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        weights: &Tensor,
+    ) -> Result<MachineRun, MachineError> {
+        let params = match &layer.op {
+            LayerOp::Conv(p) | LayerOp::TConv(p) => *p,
+            LayerOp::Projection => {
+                return Err(MachineError::Unsupported {
+                    detail: "projection layers are executed by the host, not the PE array".into(),
+                })
+            }
+        };
+        if layer.input.depth != 1 {
+            return Err(MachineError::Unsupported {
+                detail: "the cycle-level machine covers 2-D layers".into(),
+            });
+        }
+        if input.shape() != layer.input {
+            return Err(MachineError::ShapeMismatch {
+                detail: format!("input {} != layer input {}", input.shape(), layer.input),
+            });
+        }
+        let expected_weights = Shape::filter(
+            layer.output.channels,
+            layer.input.channels,
+            params.kernel.0,
+            params.kernel.1,
+            params.kernel.2,
+        );
+        if weights.shape() != expected_weights {
+            return Err(MachineError::ShapeMismatch {
+                detail: format!(
+                    "weights {} != expected {}",
+                    weights.shape(),
+                    expected_weights
+                ),
+            });
+        }
+
+        let geometry = LayerGeometry::for_layer(layer);
+        let mut output = Tensor::zeros(layer.output);
+        let mut counts = EventCounts::default();
+        let mut busy = 0u64;
+        let mut work_units = 0u64;
+
+        // One PE is reused per work unit; the mapping of units to physical PEs
+        // round-robins across the array, which only matters for the activity
+        // counters (each unit's traffic is identical wherever it runs).
+        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+
+        for co in 0..layer.output.channels {
+            for oy in 0..layer.output.height {
+                // Consequential vertical taps for this output row.
+                let ky_taps: Vec<usize> = match &geometry.height_phases {
+                    Some(phases) if layer.is_tconv() => phases.taps_at(oy),
+                    _ => (0..params.kernel.1)
+                        .filter(|ky| {
+                            conv_input_row(oy, *ky, &params, layer.input.height).is_some()
+                        })
+                        .collect(),
+                };
+                for &ky in &ky_taps {
+                    let Some(iy) = input_row_for(oy, ky, &params, layer.input.height) else {
+                        continue;
+                    };
+                    for ci in 0..layer.input.channels {
+                        work_units += 1;
+                        let row: Vec<f32> = (0..layer.input.width)
+                            .map(|ix| input.at(ci, 0, iy, ix))
+                            .collect();
+                        // The machine gathers over the zero-inserted domain, so
+                        // for transposed convolutions the kernel is spatially
+                        // flipped (the classical adjoint relationship — see
+                        // `ganax_tensor::tconv_via_zero_insertion`).
+                        let weight_row: Vec<f32> = (0..params.kernel.2)
+                            .map(|kx| {
+                                if layer.is_tconv() {
+                                    weights.at_filter(
+                                        co,
+                                        ci,
+                                        0,
+                                        params.kernel.1 - 1 - ky,
+                                        params.kernel.2 - 1 - kx,
+                                    )
+                                } else {
+                                    weights.at_filter(co, ci, 0, ky, kx)
+                                }
+                            })
+                            .collect();
+                        let (unit_busy, unit_counts) = self.run_unit(
+                            &mut pe,
+                            &row,
+                            &weight_row,
+                            &params,
+                            layer,
+                            |ox, value| {
+                                output.add_at(co, 0, oy, ox, value);
+                            },
+                        )?;
+                        busy += unit_busy;
+                        counts += unit_counts;
+                        // Horizontal accumulation of this node's partial sums
+                        // into the output row (one hop per produced element).
+                        counts.inter_pe_transfers += layer.output.width as u64;
+                    }
+                }
+            }
+        }
+
+        Ok(MachineRun {
+            output,
+            busy_pe_cycles: busy,
+            counts,
+            work_units,
+        })
+    }
+
+    /// Runs one (output row, vertical tap, channel) work unit on a PE: for each
+    /// output column it configures the index generators for the consequential
+    /// column taps, streams a repeated `mac` and collects the partial sum.
+    fn run_unit(
+        &self,
+        pe: &mut ProcessingEngine,
+        input_row: &[f32],
+        weight_row: &[f32],
+        params: &ConvParams,
+        layer: &Layer,
+        mut emit: impl FnMut(usize, f32),
+    ) -> Result<(u64, EventCounts), MachineError> {
+        pe.load_input(input_row);
+        pe.load_weights(weight_row);
+        pe.clear_output();
+        let before = pe.counts();
+        let busy_before = pe.busy_cycles();
+
+        for ox in 0..layer.output.width {
+            let Some(run) = column_run(ox, params, layer.input.width) else {
+                continue;
+            };
+            pe.configure_generator(
+                AddrGenKind::Input,
+                GeneratorConfig {
+                    addr: run.input_start as u16,
+                    offset: 0,
+                    step: 1,
+                    end: (run.input_start + run.taps) as u16,
+                    repeat: 1,
+                },
+            );
+            pe.configure_generator(
+                AddrGenKind::Weight,
+                GeneratorConfig {
+                    addr: run.kernel_start as u16,
+                    offset: 0,
+                    step: run.kernel_step as u16,
+                    end: (run.kernel_start + (run.taps - 1) * run.kernel_step + 1) as u16,
+                    repeat: 1,
+                },
+            );
+            pe.configure_generator(
+                AddrGenKind::Output,
+                GeneratorConfig {
+                    addr: (ox % pe.config().output_words) as u16,
+                    offset: 0,
+                    step: 1,
+                    end: (ox % pe.config().output_words + 1) as u16,
+                    repeat: 1,
+                },
+            );
+            pe.start_all();
+            pe.set_repeat(run.taps as u16);
+            pe.push_uop(ExecUop::Repeat);
+            pe.push_uop(ExecUop::Mac);
+            let cycles = pe.run_until_idle(10_000);
+            if cycles >= 10_000 {
+                return Err(MachineError::Timeout {
+                    layer: layer.name.clone(),
+                });
+            }
+            emit(ox, pe.read_output((ox % pe.config().output_words) as u16));
+        }
+
+        let after = pe.counts();
+        let busy = pe.busy_cycles() - busy_before;
+        let delta = EventCounts {
+            alu_ops: after.alu_ops - before.alu_ops,
+            gated_ops: 0,
+            register_file_reads: after.register_file_reads - before.register_file_reads,
+            register_file_writes: after.register_file_writes - before.register_file_writes,
+            inter_pe_transfers: 0,
+            global_buffer_reads: 0,
+            global_buffer_writes: 0,
+            dram_reads: 0,
+            dram_writes: 0,
+            local_uop_fetches: after.local_uop_fetches - before.local_uop_fetches,
+            global_uop_fetches: 0,
+        };
+        Ok((busy, delta))
+    }
+}
+
+impl Default for GanaxMachine {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The original input row a (output row, vertical kernel tap) pair reads, or
+/// `None` if the tap falls on padding / an inserted zero row.
+fn input_row_for(oy: usize, ky: usize, params: &ConvParams, input_height: usize) -> Option<usize> {
+    match params.kind {
+        ConvKind::Transposed => {
+            let ins = ZeroInsertion::from_params(params);
+            ins.source(1, oy + ky, input_height)
+        }
+        ConvKind::Conventional => conv_input_row(oy, ky, params, input_height),
+    }
+}
+
+/// Input row of a conventional convolution tap, or `None` when it lands in the
+/// padding.
+fn conv_input_row(
+    oy: usize,
+    ky: usize,
+    params: &ConvParams,
+    input_height: usize,
+) -> Option<usize> {
+    let pos = (oy * params.stride.1 + ky) as isize - params.padding.1 as isize;
+    if pos >= 0 && (pos as usize) < input_height {
+        Some(pos as usize)
+    } else {
+        None
+    }
+}
+
+/// The consequential column taps of one output column: which input columns and
+/// kernel columns participate, and with which kernel stride.
+fn column_run(ox: usize, params: &ConvParams, input_width: usize) -> Option<ColumnRun> {
+    match params.kind {
+        ConvKind::Transposed => {
+            let ins = ZeroInsertion::from_params(params);
+            let step = params.stride.2;
+            let mut first: Option<(usize, usize)> = None;
+            let mut taps = 0usize;
+            for kx in 0..params.kernel.2 {
+                if let Some(ix) = ins.source(2, ox + kx, input_width) {
+                    if first.is_none() {
+                        first = Some((ix, kx));
+                    }
+                    taps += 1;
+                }
+            }
+            first.map(|(input_start, kernel_start)| ColumnRun {
+                input_start,
+                kernel_start,
+                kernel_step: step,
+                taps,
+            })
+        }
+        ConvKind::Conventional => {
+            let mut first: Option<(usize, usize)> = None;
+            let mut taps = 0usize;
+            for kx in 0..params.kernel.2 {
+                let pos = (ox * params.stride.2 + kx) as isize - params.padding.2 as isize;
+                if pos >= 0 && (pos as usize) < input_width {
+                    if first.is_none() {
+                        first = Some((pos as usize, kx));
+                    }
+                    taps += 1;
+                }
+            }
+            first.map(|(input_start, kernel_start)| ColumnRun {
+                input_start,
+                kernel_start,
+                kernel_step: 1,
+                taps,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganax_models::Activation;
+    use ganax_tensor::{conv, tconv};
+
+    fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32 / 1000.0) - 1.0
+        };
+        let mut t = Tensor::zeros(shape);
+        for v in t.data_mut() {
+            *v = next();
+        }
+        t
+    }
+
+    fn check_layer(layer: Layer, seed: u64) {
+        let params = layer.op.conv_params().unwrap();
+        let input = random_tensor(layer.input, seed);
+        let weights = random_tensor(
+            Shape::filter(
+                layer.output.channels,
+                layer.input.channels,
+                params.kernel.0,
+                params.kernel.1,
+                params.kernel.2,
+            ),
+            seed + 1,
+        );
+        let reference = if layer.is_tconv() {
+            tconv(&input, &weights, &params).unwrap()
+        } else {
+            conv(&input, &weights, &params).unwrap()
+        };
+        let run = GanaxMachine::paper()
+            .execute_layer(&layer, &input, &weights)
+            .unwrap();
+        assert!(
+            run.output.approx_eq(&reference, 1e-3),
+            "machine output diverges from reference for {} (max diff {})",
+            layer.name,
+            run.output.max_abs_diff(&reference).unwrap()
+        );
+        assert!(run.busy_pe_cycles > 0);
+        assert_eq!(run.counts.alu_ops, run.busy_pe_cycles);
+    }
+
+    #[test]
+    fn matches_reference_on_paper_example_geometry() {
+        let layer = Layer::conv(
+            "paper-example",
+            Shape::new_2d(1, 4, 4),
+            1,
+            ConvParams::transposed_2d(5, 2, 2),
+            Activation::None,
+        )
+        .unwrap();
+        check_layer(layer, 11);
+    }
+
+    #[test]
+    fn matches_reference_on_multichannel_tconv() {
+        let layer = Layer::conv(
+            "tconv-multi",
+            Shape::new_2d(3, 5, 5),
+            2,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::None,
+        )
+        .unwrap();
+        check_layer(layer, 23);
+    }
+
+    #[test]
+    fn matches_reference_on_stride1_tconv() {
+        let layer = Layer::conv(
+            "tconv-refine",
+            Shape::new_2d(2, 6, 6),
+            2,
+            ConvParams::transposed_2d(3, 1, 1),
+            Activation::None,
+        )
+        .unwrap();
+        check_layer(layer, 37);
+    }
+
+    #[test]
+    fn matches_reference_on_conventional_convolution() {
+        let layer = Layer::conv(
+            "conv",
+            Shape::new_2d(2, 8, 8),
+            3,
+            ConvParams::conv_2d(3, 2, 1),
+            Activation::None,
+        )
+        .unwrap();
+        check_layer(layer, 41);
+    }
+
+    #[test]
+    fn machine_performs_only_consequential_macs() {
+        let layer = Layer::conv(
+            "tconv-count",
+            Shape::new_2d(1, 4, 4),
+            1,
+            ConvParams::transposed_2d(5, 2, 2),
+            Activation::None,
+        )
+        .unwrap();
+        let params = layer.op.conv_params().unwrap();
+        let input = random_tensor(layer.input, 5);
+        let weights = random_tensor(Shape::filter(1, 1, 1, 5, 5), 6);
+        let run = GanaxMachine::paper()
+            .execute_layer(&layer, &input, &weights)
+            .unwrap();
+        let consequential = params.consequential_macs(layer.input, 1).unwrap();
+        assert_eq!(run.counts.alu_ops, consequential);
+        assert!(run.counts.alu_ops < layer.dense_macs());
+    }
+
+    #[test]
+    fn rejects_projection_and_volumetric_layers() {
+        let machine = GanaxMachine::paper();
+        let projection = Layer::projection(
+            "proj",
+            Shape::new_2d(10, 1, 1),
+            Shape::new_2d(4, 2, 2),
+            Activation::None,
+        );
+        let input = Tensor::zeros(projection.input);
+        let weights = Tensor::zeros(Shape::filter(4, 10, 1, 1, 1));
+        assert!(matches!(
+            machine.execute_layer(&projection, &input, &weights),
+            Err(MachineError::Unsupported { .. })
+        ));
+
+        let volumetric = Layer::conv(
+            "tconv3d",
+            Shape::new(2, 2, 2, 2),
+            1,
+            ConvParams::transposed_3d(4, 2, 1),
+            Activation::None,
+        )
+        .unwrap();
+        let input = Tensor::zeros(volumetric.input);
+        let weights = Tensor::zeros(Shape::filter(1, 2, 4, 4, 4));
+        assert!(matches!(
+            machine.execute_layer(&volumetric, &input, &weights),
+            Err(MachineError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_tensors() {
+        let layer = Layer::conv(
+            "tconv",
+            Shape::new_2d(1, 4, 4),
+            1,
+            ConvParams::transposed_2d(5, 2, 2),
+            Activation::None,
+        )
+        .unwrap();
+        let machine = GanaxMachine::paper();
+        let bad_input = Tensor::zeros(Shape::new_2d(1, 5, 5));
+        let weights = Tensor::zeros(Shape::filter(1, 1, 1, 5, 5));
+        assert!(matches!(
+            machine.execute_layer(&layer, &bad_input, &weights),
+            Err(MachineError::ShapeMismatch { .. })
+        ));
+        let input = Tensor::zeros(Shape::new_2d(1, 4, 4));
+        let bad_weights = Tensor::zeros(Shape::filter(1, 1, 1, 3, 3));
+        assert!(matches!(
+            machine.execute_layer(&layer, &input, &bad_weights),
+            Err(MachineError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,256 @@
+//! The GANAX layer-level performance and energy model.
+
+use ganax_dataflow::{DataflowMode, LayerGeometry, ScheduleEstimate};
+use ganax_eyeriss::{AcceleratorConfig, LayerStats, NetworkStats, TrafficModel};
+use ganax_models::{Layer, Network};
+
+use crate::compiler::GanaxCompiler;
+use crate::config::GanaxConfig;
+
+/// Which subset of the GANAX mechanisms is enabled — used by the ablation
+/// study of the design choices called out in Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblationVariant {
+    /// The full design: reorganized dataflow, MIMD-SIMD execution and the
+    /// decoupled access-execute µ-engines.
+    Full,
+    /// Output/filter-row reorganization but a *pure SIMD* schedule: every pass
+    /// must wait for the slowest phase group (the situation Section II ends
+    /// with, before the MIMD-SIMD architecture is introduced).
+    ReorganizedSimdOnly,
+    /// No reorganization at all: the baseline's dense schedule, but with zero
+    /// gating (this is simply the Eyeriss behaviour and is provided so
+    /// ablation sweeps can include the baseline point).
+    ConventionalDense,
+}
+
+/// The GANAX accelerator's analytic model (the counterpart of
+/// [`ganax_eyeriss::EyerissModel`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GanaxModel {
+    config: GanaxConfig,
+    variant: AblationVariant,
+}
+
+impl GanaxModel {
+    /// Creates a model with an explicit configuration.
+    pub fn new(config: GanaxConfig) -> Self {
+        GanaxModel {
+            config,
+            variant: AblationVariant::Full,
+        }
+    }
+
+    /// Creates the model with the paper's configuration.
+    pub fn paper() -> Self {
+        Self::new(GanaxConfig::paper())
+    }
+
+    /// Creates a model restricted to an ablation variant.
+    pub fn with_variant(config: GanaxConfig, variant: AblationVariant) -> Self {
+        GanaxModel { config, variant }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> GanaxConfig {
+        self.config
+    }
+
+    /// The ablation variant in use.
+    pub fn variant(&self) -> AblationVariant {
+        self.variant
+    }
+
+    /// The shared accelerator configuration.
+    fn base(&self) -> AcceleratorConfig {
+        self.config.base
+    }
+
+    /// Runs one layer and returns its statistics.
+    pub fn run_layer(&self, layer: &Layer) -> LayerStats {
+        let geometry = LayerGeometry::for_layer(layer);
+        let array = self.base().array;
+
+        let (schedule, mode) = match self.variant {
+            AblationVariant::ConventionalDense => (
+                ScheduleEstimate::estimate(&geometry, array, DataflowMode::Conventional),
+                DataflowMode::Conventional,
+            ),
+            AblationVariant::Full => (
+                ScheduleEstimate::estimate(&geometry, array, DataflowMode::Reorganized),
+                DataflowMode::Reorganized,
+            ),
+            AblationVariant::ReorganizedSimdOnly => {
+                let mut schedule =
+                    ScheduleEstimate::estimate(&geometry, array, DataflowMode::Reorganized);
+                // Without MIMD-SIMD the phase groups cannot run concurrently
+                // with different microprograms: every pass stretches to the
+                // longest group's length. First-order penalty: scale the
+                // schedule by the ratio of the dense accumulation depth to the
+                // average consequential depth, bounded by the dense schedule.
+                let dense =
+                    ScheduleEstimate::estimate(&geometry, array, DataflowMode::Conventional);
+                let groups = geometry.phase_groups();
+                if geometry.is_tconv && !groups.is_empty() {
+                    let max_nodes = groups
+                        .iter()
+                        .map(|g| g.consequential_nodes)
+                        .max()
+                        .unwrap_or(1) as f64;
+                    let avg_nodes = groups
+                        .iter()
+                        .map(|g| g.num_rows as f64 * g.consequential_nodes as f64)
+                        .sum::<f64>()
+                        / groups.iter().map(|g| g.num_rows as f64).sum::<f64>().max(1.0);
+                    let penalty = (max_nodes / avg_nodes.max(1.0)).max(1.0);
+                    let stretched = (schedule.schedule_cycles as f64 * penalty) as u64;
+                    schedule.schedule_cycles = stretched.min(dense.schedule_cycles);
+                }
+                (schedule, DataflowMode::Reorganized)
+            }
+        };
+
+        let traffic = TrafficModel::layer_traffic(&geometry, &schedule, mode);
+
+        // GANAX never executes an inconsequential MAC; the conventional-dense
+        // ablation variant behaves like the zero-gated baseline.
+        let (full_ops, gated_ops) = match mode {
+            DataflowMode::Reorganized => (geometry.consequential_macs, 0),
+            DataflowMode::Conventional => (
+                geometry.consequential_macs,
+                geometry.dense_macs - geometry.consequential_macs,
+            ),
+        };
+
+        // µop-fetch accounting: SIMD layers fetch one global µop per pass;
+        // MIMD-SIMD layers additionally fetch one local µop per PV per pass.
+        let global_uop_fetches = schedule.passes;
+        let local_uop_fetches = if GanaxCompiler::uses_simd_mode(layer) {
+            0
+        } else {
+            schedule.passes * array.num_pvs as u64
+        };
+
+        let counts = TrafficModel::to_event_counts(
+            &traffic,
+            full_ops,
+            gated_ops,
+            local_uop_fetches,
+            global_uop_fetches,
+        );
+        let energy = self.base().energy.energy(&counts);
+
+        LayerStats {
+            name: layer.name.clone(),
+            is_tconv: layer.is_tconv(),
+            cycles: schedule.schedule_cycles,
+            dense_macs: geometry.dense_macs,
+            consequential_macs: geometry.consequential_macs,
+            counts,
+            energy,
+            utilization: schedule.utilization(array),
+        }
+    }
+
+    /// Runs a whole network.
+    pub fn run_network(&self, network: &Network) -> NetworkStats {
+        NetworkStats {
+            network: network.name().to_string(),
+            accelerator: "GANAX",
+            layers: network.layers().iter().map(|l| self.run_layer(l)).collect(),
+        }
+    }
+}
+
+impl Default for GanaxModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganax_eyeriss::EyerissModel;
+    use ganax_models::zoo;
+
+    #[test]
+    fn ganax_never_performs_gated_ops_in_full_mode() {
+        let model = GanaxModel::paper();
+        let stats = model.run_network(&zoo::dcgan().generator);
+        for layer in &stats.layers {
+            assert_eq!(layer.counts.gated_ops, 0, "{}", layer.name);
+        }
+    }
+
+    #[test]
+    fn generator_speedup_over_eyeriss_is_substantial() {
+        let ganax = GanaxModel::paper();
+        let eyeriss = EyerissModel::paper();
+        let gen = zoo::dcgan().generator;
+        let speedup = eyeriss.run_network(&gen).total_cycles() as f64
+            / ganax.run_network(&gen).total_cycles() as f64;
+        assert!(speedup > 2.0, "speedup = {speedup}");
+        assert!(speedup < 8.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn discriminator_performance_is_preserved() {
+        let ganax = GanaxModel::paper();
+        let eyeriss = EyerissModel::paper();
+        let disc = zoo::dcgan().discriminator;
+        let g = ganax.run_network(&disc).total_cycles();
+        let e = eyeriss.run_network(&disc).total_cycles();
+        assert_eq!(g, e, "GANAX must not slow conventional convolutions down");
+    }
+
+    #[test]
+    fn ganax_pe_utilization_is_high_on_generators() {
+        let model = GanaxModel::paper();
+        for gan in zoo::all_models() {
+            let util = model.run_network(&gan.generator).average_utilization();
+            assert!(util > 0.55, "{}: utilization = {util}", gan.name);
+        }
+    }
+
+    #[test]
+    fn mimd_layers_fetch_local_uops() {
+        let model = GanaxModel::paper();
+        let gen = zoo::dcgan().generator;
+        let stats = model.run_network(&gen);
+        let tconv = stats.layers.iter().find(|l| l.is_tconv).unwrap();
+        assert!(tconv.counts.local_uop_fetches > 0);
+        let disc_stats = model.run_network(&zoo::dcgan().discriminator);
+        for layer in &disc_stats.layers {
+            assert_eq!(layer.counts.local_uop_fetches, 0);
+        }
+    }
+
+    #[test]
+    fn ablation_ordering_full_beats_simd_only_beats_dense() {
+        let config = GanaxConfig::paper();
+        let gen = zoo::dcgan().generator;
+        let full = GanaxModel::with_variant(config, AblationVariant::Full)
+            .run_network(&gen)
+            .total_cycles();
+        let simd_only = GanaxModel::with_variant(config, AblationVariant::ReorganizedSimdOnly)
+            .run_network(&gen)
+            .total_cycles();
+        let dense = GanaxModel::with_variant(config, AblationVariant::ConventionalDense)
+            .run_network(&gen)
+            .total_cycles();
+        assert!(full <= simd_only, "{full} > {simd_only}");
+        assert!(simd_only <= dense, "{simd_only} > {dense}");
+        assert!(full < dense);
+    }
+
+    #[test]
+    fn energy_reduction_over_eyeriss() {
+        let ganax = GanaxModel::paper();
+        let eyeriss = EyerissModel::paper();
+        let gen = zoo::three_d_gan().generator;
+        let reduction = eyeriss.run_network(&gen).total_energy().total_pj()
+            / ganax.run_network(&gen).total_energy().total_pj();
+        assert!(reduction > 2.0, "reduction = {reduction}");
+    }
+}

@@ -1,0 +1,214 @@
+//! The Table III area model (TSMC 45 nm).
+//!
+//! Table III lists the silicon area of every hardware unit in a GANAX
+//! processing engine and at the accelerator level. The Eyeriss-style baseline
+//! shares every unit except the ones GANAX adds for MIMD-SIMD, decoupled
+//! access-execute execution: the strided µindex generators, the per-PV local
+//! µop buffers, the global µop buffer and the global instruction buffer.
+//! Removing exactly those units from the GANAX total yields the baseline area
+//! and the ≈7.8 % overhead the paper reports.
+
+/// Area of the units inside one processing engine, in µm² (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeAreaBreakdown {
+    /// Input register (12 × 16 bits).
+    pub input_register: f64,
+    /// Partial-sum register (24 × 16 bits).
+    pub partial_sum_register: f64,
+    /// Weight SRAM (224 × 16 bits).
+    pub weight_sram: f64,
+    /// 16-bit fixed-point multiply-and-accumulate unit.
+    pub mac: f64,
+    /// Non-linear function lookup table.
+    pub non_linear: f64,
+    /// Strided µindex generators (GANAX-specific).
+    pub strided_index_generator: f64,
+    /// Local µop buffer share of this PE (GANAX-specific).
+    pub local_uop_buffer: f64,
+    /// Input/output FIFOs (8 × 32 bits).
+    pub io_fifos: f64,
+    /// PE controller.
+    pub controller: f64,
+}
+
+impl PeAreaBreakdown {
+    /// The Table III values.
+    pub fn table_iii() -> Self {
+        PeAreaBreakdown {
+            input_register: 766.9,
+            partial_sum_register: 1_533.7,
+            weight_sram: 14_378.7,
+            mac: 2_875.7,
+            non_linear: 95.9,
+            strided_index_generator: 479.33,
+            local_uop_buffer: 958.6,
+            io_fifos: 5_026.8,
+            controller: 3_356.0,
+        }
+    }
+
+    /// Total area of one GANAX PE.
+    pub fn total(&self) -> f64 {
+        self.input_register
+            + self.partial_sum_register
+            + self.weight_sram
+            + self.mac
+            + self.non_linear
+            + self.strided_index_generator
+            + self.local_uop_buffer
+            + self.io_fifos
+            + self.controller
+    }
+
+    /// Area of the GANAX-specific units within one PE.
+    pub fn ganax_specific(&self) -> f64 {
+        self.strided_index_generator + self.local_uop_buffer
+    }
+
+    /// Named (unit, area) pairs in Table III order.
+    pub fn entries(&self) -> [(&'static str, f64); 9] {
+        [
+            ("Input Register", self.input_register),
+            ("Partial Sum Register", self.partial_sum_register),
+            ("Weight SRAM", self.weight_sram),
+            ("Multiply-and-Accumulate", self.mac),
+            ("Non-Linear Function", self.non_linear),
+            ("Strided uIndex Generator", self.strided_index_generator),
+            ("Local uOp Buffer", self.local_uop_buffer),
+            ("I/O FIFOs", self.io_fifos),
+            ("PE Controller", self.controller),
+        ]
+    }
+}
+
+/// Accelerator-level area model (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Per-PE unit areas.
+    pub pe: PeAreaBreakdown,
+    /// Number of PEs (16 × 16 in the paper).
+    pub num_pes: usize,
+    /// Global µop buffer (32 × 64 bits), µm² (GANAX-specific).
+    pub global_uop_buffer: f64,
+    /// Global data buffer (108 KB), µm².
+    pub global_data_buffer: f64,
+    /// Global instruction buffer (27 KB), µm² (GANAX-specific).
+    pub global_instruction_buffer: f64,
+    /// NoC and configuration buffers, µm².
+    pub noc_and_config: f64,
+    /// Global controller, µm².
+    pub global_controller: f64,
+}
+
+impl AreaModel {
+    /// The Table III configuration: 256 PEs plus the global units.
+    pub fn table_iii() -> Self {
+        AreaModel {
+            pe: PeAreaBreakdown::table_iii(),
+            num_pes: 256,
+            global_uop_buffer: 9_585.8,
+            global_data_buffer: 1_102_366.9,
+            global_instruction_buffer: 275_591.7,
+            noc_and_config: 115_029.6,
+            global_controller: 19_171.6,
+        }
+    }
+
+    /// Area of the full PE array.
+    pub fn pe_array_area(&self) -> f64 {
+        self.pe.total() * self.num_pes as f64
+    }
+
+    /// Total GANAX accelerator area.
+    pub fn ganax_total(&self) -> f64 {
+        self.pe_array_area()
+            + self.global_uop_buffer
+            + self.global_data_buffer
+            + self.global_instruction_buffer
+            + self.noc_and_config
+            + self.global_controller
+    }
+
+    /// Total area of the GANAX-specific additions (per-PE index generators and
+    /// local µop buffers, plus the global µop and instruction buffers).
+    pub fn ganax_additions(&self) -> f64 {
+        self.pe.ganax_specific() * self.num_pes as f64
+            + self.global_uop_buffer
+            + self.global_instruction_buffer
+    }
+
+    /// Area of the Eyeriss-style baseline: the GANAX total minus the
+    /// GANAX-specific units.
+    pub fn eyeriss_total(&self) -> f64 {
+        self.ganax_total() - self.ganax_additions()
+    }
+
+    /// Fractional area overhead of GANAX over the baseline (≈7.8 % in the paper).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.ganax_additions() / self.eyeriss_total()
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::table_iii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_total_matches_table_iii() {
+        let pe = PeAreaBreakdown::table_iii();
+        // Table III reports 29 471.6 um^2 per PE.
+        assert!((pe.total() - 29_471.6).abs() < 1.0, "total = {}", pe.total());
+    }
+
+    #[test]
+    fn pe_entries_sum_to_total() {
+        let pe = PeAreaBreakdown::table_iii();
+        let sum: f64 = pe.entries().iter().map(|(_, a)| a).sum();
+        assert!((sum - pe.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_area_matches_table_iii() {
+        let model = AreaModel::table_iii();
+        // Table III reports 7 544 466.2 um^2 for the 16x16 array.
+        assert!(
+            (model.pe_array_area() - 7_544_466.2).abs() / 7_544_466.2 < 0.001,
+            "array = {}",
+            model.pe_array_area()
+        );
+    }
+
+    #[test]
+    fn ganax_total_matches_table_iii() {
+        let model = AreaModel::table_iii();
+        // Table III reports 9 066 211.8 um^2 total.
+        assert!(
+            (model.ganax_total() - 9_066_211.8).abs() / 9_066_211.8 < 0.001,
+            "total = {}",
+            model.ganax_total()
+        );
+    }
+
+    #[test]
+    fn overhead_is_about_7_8_percent() {
+        let model = AreaModel::table_iii();
+        let overhead = model.overhead_fraction();
+        assert!(
+            overhead > 0.070 && overhead < 0.085,
+            "overhead = {overhead}"
+        );
+    }
+
+    #[test]
+    fn eyeriss_is_smaller_than_ganax() {
+        let model = AreaModel::table_iii();
+        assert!(model.eyeriss_total() < model.ganax_total());
+        assert!(model.eyeriss_total() > 0.0);
+    }
+}

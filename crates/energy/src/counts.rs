@@ -1,0 +1,287 @@
+//! Event counts and per-category energy breakdowns.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Raw activity counts accumulated by an accelerator model while executing a
+/// layer or a whole network. Counts are in *word-sized events* (one event = one
+/// 16-bit operand or one arithmetic operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    /// Full arithmetic operations executed by PE ALUs (consequential MACs,
+    /// additions, activations…).
+    pub alu_ops: u64,
+    /// Zero-gated operations: cycles where an Eyeriss-style PE detected a zero
+    /// operand and suppressed the arithmetic (still costs gating energy).
+    pub gated_ops: u64,
+    /// Register-file (PE-local scratchpad) reads.
+    pub register_file_reads: u64,
+    /// Register-file (PE-local scratchpad) writes.
+    pub register_file_writes: u64,
+    /// Word transfers between neighbouring PEs (partial-sum accumulation and
+    /// filter-row forwarding).
+    pub inter_pe_transfers: u64,
+    /// Global on-chip data-buffer reads.
+    pub global_buffer_reads: u64,
+    /// Global on-chip data-buffer writes.
+    pub global_buffer_writes: u64,
+    /// Off-chip DRAM reads.
+    pub dram_reads: u64,
+    /// Off-chip DRAM writes.
+    pub dram_writes: u64,
+    /// Fetches from the per-PV local µop buffers.
+    pub local_uop_fetches: u64,
+    /// Fetches from the global µop buffer.
+    pub global_uop_fetches: u64,
+}
+
+impl EventCounts {
+    /// Total arithmetic-related events (full plus gated operations).
+    pub fn total_ops(&self) -> u64 {
+        self.alu_ops + self.gated_ops
+    }
+
+    /// Total off-chip word accesses.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_reads + self.dram_writes
+    }
+
+    /// Total on-chip global-buffer word accesses (data plus µops).
+    pub fn global_buffer_accesses(&self) -> u64 {
+        self.global_buffer_reads
+            + self.global_buffer_writes
+            + self.local_uop_fetches
+            + self.global_uop_fetches
+    }
+}
+
+impl Add for EventCounts {
+    type Output = EventCounts;
+
+    fn add(self, rhs: EventCounts) -> EventCounts {
+        EventCounts {
+            alu_ops: self.alu_ops + rhs.alu_ops,
+            gated_ops: self.gated_ops + rhs.gated_ops,
+            register_file_reads: self.register_file_reads + rhs.register_file_reads,
+            register_file_writes: self.register_file_writes + rhs.register_file_writes,
+            inter_pe_transfers: self.inter_pe_transfers + rhs.inter_pe_transfers,
+            global_buffer_reads: self.global_buffer_reads + rhs.global_buffer_reads,
+            global_buffer_writes: self.global_buffer_writes + rhs.global_buffer_writes,
+            dram_reads: self.dram_reads + rhs.dram_reads,
+            dram_writes: self.dram_writes + rhs.dram_writes,
+            local_uop_fetches: self.local_uop_fetches + rhs.local_uop_fetches,
+            global_uop_fetches: self.global_uop_fetches + rhs.global_uop_fetches,
+        }
+    }
+}
+
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, rhs: EventCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EventCounts {
+    fn sum<I: Iterator<Item = EventCounts>>(iter: I) -> EventCounts {
+        iter.fold(EventCounts::default(), Add::add)
+    }
+}
+
+/// The five microarchitectural energy categories used by Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyCategory {
+    /// Arithmetic (PE datapaths, including the strided µindex generators).
+    Pe,
+    /// PE-local register files / scratchpads.
+    RegisterFile,
+    /// Inter-PE network-on-chip traffic.
+    Noc,
+    /// Global on-chip buffers (data and µop).
+    GlobalBuffer,
+    /// Off-chip DRAM.
+    Dram,
+}
+
+impl EnergyCategory {
+    /// All categories in Figure 10's legend order.
+    pub const ALL: [EnergyCategory; 5] = [
+        EnergyCategory::Pe,
+        EnergyCategory::RegisterFile,
+        EnergyCategory::Noc,
+        EnergyCategory::GlobalBuffer,
+        EnergyCategory::Dram,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyCategory::Pe => "PE",
+            EnergyCategory::RegisterFile => "RegF",
+            EnergyCategory::Noc => "NoC",
+            EnergyCategory::GlobalBuffer => "GBuf",
+            EnergyCategory::Dram => "DRAM",
+        }
+    }
+}
+
+/// Energy per category, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Arithmetic energy.
+    pub pe_pj: f64,
+    /// Register-file energy.
+    pub register_file_pj: f64,
+    /// Inter-PE NoC energy.
+    pub noc_pj: f64,
+    /// Global-buffer energy (data and µops).
+    pub global_buffer_pj: f64,
+    /// DRAM energy.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all categories.
+    pub fn total_pj(&self) -> f64 {
+        self.pe_pj + self.register_file_pj + self.noc_pj + self.global_buffer_pj + self.dram_pj
+    }
+
+    /// Energy of a single category.
+    pub fn category(&self, category: EnergyCategory) -> f64 {
+        match category {
+            EnergyCategory::Pe => self.pe_pj,
+            EnergyCategory::RegisterFile => self.register_file_pj,
+            EnergyCategory::Noc => self.noc_pj,
+            EnergyCategory::GlobalBuffer => self.global_buffer_pj,
+            EnergyCategory::Dram => self.dram_pj,
+        }
+    }
+
+    /// Per-category fractions of the total (all zero when the total is zero).
+    pub fn fractions(&self) -> [(EnergyCategory, f64); 5] {
+        let total = self.total_pj();
+        EnergyCategory::ALL.map(|c| {
+            let frac = if total == 0.0 {
+                0.0
+            } else {
+                self.category(c) / total
+            };
+            (c, frac)
+        })
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            pe_pj: self.pe_pj + rhs.pe_pj,
+            register_file_pj: self.register_file_pj + rhs.register_file_pj,
+            noc_pj: self.noc_pj + rhs.noc_pj,
+            global_buffer_pj: self.global_buffer_pj + rhs.global_buffer_pj,
+            dram_pj: self.dram_pj + rhs.dram_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts(seed: u64) -> EventCounts {
+        EventCounts {
+            alu_ops: seed,
+            gated_ops: seed / 2,
+            register_file_reads: seed * 2,
+            register_file_writes: seed,
+            inter_pe_transfers: seed / 3,
+            global_buffer_reads: seed / 4,
+            global_buffer_writes: seed / 5,
+            dram_reads: seed / 10,
+            dram_writes: seed / 20,
+            local_uop_fetches: seed / 7,
+            global_uop_fetches: seed / 9,
+        }
+    }
+
+    #[test]
+    fn counts_addition_is_field_wise() {
+        let a = sample_counts(100);
+        let b = sample_counts(40);
+        let sum = a + b;
+        assert_eq!(sum.alu_ops, 140);
+        assert_eq!(sum.register_file_reads, 280);
+        assert_eq!(sum.dram_writes, a.dram_writes + b.dram_writes);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn counts_sum_over_iterator() {
+        let total: EventCounts = (1..=3).map(|i| sample_counts(i * 10)).sum();
+        assert_eq!(total.alu_ops, 60);
+    }
+
+    #[test]
+    fn derived_totals() {
+        let c = sample_counts(100);
+        assert_eq!(c.total_ops(), 150);
+        assert_eq!(c.dram_accesses(), 10 + 5);
+        assert_eq!(c.global_buffer_accesses(), 25 + 20 + 14 + 11);
+    }
+
+    #[test]
+    fn breakdown_total_and_fractions() {
+        let b = EnergyBreakdown {
+            pe_pj: 10.0,
+            register_file_pj: 20.0,
+            noc_pj: 5.0,
+            global_buffer_pj: 15.0,
+            dram_pj: 50.0,
+        };
+        assert_eq!(b.total_pj(), 100.0);
+        let fractions = b.fractions();
+        let total: f64 = fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(b.category(EnergyCategory::Dram), 50.0);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        let fractions = EnergyBreakdown::default().fractions();
+        assert!(fractions.iter().all(|(_, f)| *f == 0.0));
+    }
+
+    #[test]
+    fn category_labels_match_figure_10_legend() {
+        let labels: Vec<&str> = EnergyCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["PE", "RegF", "NoC", "GBuf", "DRAM"]);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = EnergyBreakdown {
+            pe_pj: 1.0,
+            register_file_pj: 2.0,
+            noc_pj: 3.0,
+            global_buffer_pj: 4.0,
+            dram_pj: 5.0,
+        };
+        let b = a;
+        let s: EnergyBreakdown = [a, b].into_iter().sum();
+        assert_eq!(s.total_pj(), 30.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Energy (Table II) and area (Table III) cost models for the GANAX reproduction.
+//!
+//! The paper derives per-access energies from TSMC 45 nm synthesis, CACTI-P and
+//! the Micron DDR4 power calculator, and publishes them as Table II; per-unit
+//! areas are published as Table III. Both accelerator models in this repository
+//! (the Eyeriss-style baseline and GANAX) charge their activity against the
+//! same constants, exactly as the paper's simulator does, so relative results
+//! depend only on the dataflows being compared.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax_energy::{EnergyModel, EventCounts};
+//!
+//! let model = EnergyModel::table_ii();
+//! let mut counts = EventCounts::default();
+//! counts.alu_ops = 1_000;
+//! counts.register_file_reads = 2_000;
+//! let breakdown = model.energy(&counts);
+//! assert!(breakdown.pe_pj > 0.0 && breakdown.register_file_pj > 0.0);
+//! assert_eq!(breakdown.dram_pj, 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod counts;
+mod model;
+
+pub use area::{AreaModel, PeAreaBreakdown};
+pub use counts::{EnergyBreakdown, EnergyCategory, EventCounts};
+pub use model::EnergyModel;

@@ -1,0 +1,187 @@
+//! The Table II energy model.
+
+use crate::counts::{EnergyBreakdown, EventCounts};
+
+/// Per-access energy costs, in picojoules per bit (Table II of the paper).
+///
+/// The PE cost covers one 16-bit fixed-point arithmetic operation *including*
+/// the strided µindex generators, as the paper notes under Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per bit of a register-file access (pJ/bit).
+    pub register_file_pj_per_bit: f64,
+    /// Energy per bit of a 16-bit fixed-point PE operation (pJ/bit).
+    pub pe_pj_per_bit: f64,
+    /// Energy per bit of an inter-PE (NoC) transfer (pJ/bit).
+    pub inter_pe_pj_per_bit: f64,
+    /// Energy per bit of a global-buffer access (pJ/bit).
+    pub global_buffer_pj_per_bit: f64,
+    /// Energy per bit of a DDR4 DRAM access (pJ/bit).
+    pub dram_pj_per_bit: f64,
+    /// Datapath word width in bits (16-bit fixed point in the paper).
+    pub word_bits: u32,
+    /// Fraction of a full PE operation's energy spent when a zero-gated MAC is
+    /// skipped by clock gating (the operand still has to be inspected). Used by
+    /// the Eyeriss baseline's zero-gating model.
+    pub gated_op_fraction: f64,
+}
+
+impl EnergyModel {
+    /// The exact constants of Table II.
+    pub fn table_ii() -> Self {
+        EnergyModel {
+            register_file_pj_per_bit: 0.20,
+            pe_pj_per_bit: 0.36,
+            inter_pe_pj_per_bit: 0.40,
+            global_buffer_pj_per_bit: 1.20,
+            dram_pj_per_bit: 15.00,
+            word_bits: 16,
+            gated_op_fraction: 0.15,
+        }
+    }
+
+    /// Energy of one full arithmetic operation (pJ).
+    pub fn pe_op_pj(&self) -> f64 {
+        self.pe_pj_per_bit * self.word_bits as f64
+    }
+
+    /// Energy of one zero-gated (skipped) arithmetic operation (pJ).
+    pub fn gated_op_pj(&self) -> f64 {
+        self.pe_op_pj() * self.gated_op_fraction
+    }
+
+    /// Energy of one register-file word access (pJ).
+    pub fn register_file_access_pj(&self) -> f64 {
+        self.register_file_pj_per_bit * self.word_bits as f64
+    }
+
+    /// Energy of transferring one word between neighbouring PEs (pJ).
+    pub fn inter_pe_transfer_pj(&self) -> f64 {
+        self.inter_pe_pj_per_bit * self.word_bits as f64
+    }
+
+    /// Energy of one global-buffer word access (pJ).
+    pub fn global_buffer_access_pj(&self) -> f64 {
+        self.global_buffer_pj_per_bit * self.word_bits as f64
+    }
+
+    /// Energy of one DRAM word access (pJ).
+    pub fn dram_access_pj(&self) -> f64 {
+        self.dram_pj_per_bit * self.word_bits as f64
+    }
+
+    /// Relative cost column of Table II (normalised to a register-file access).
+    pub fn relative_costs(&self) -> [(&'static str, f64); 5] {
+        let base = self.register_file_pj_per_bit;
+        [
+            ("Register File Access", self.register_file_pj_per_bit / base),
+            ("16-bit Fixed Point PE", self.pe_pj_per_bit / base),
+            ("Inter-PE Communication", self.inter_pe_pj_per_bit / base),
+            ("Global Buffer Access", self.global_buffer_pj_per_bit / base),
+            ("DDR4 Memory Access", self.dram_pj_per_bit / base),
+        ]
+    }
+
+    /// Charges a set of event counts against the model, producing the
+    /// per-category energy breakdown used by Figure 10.
+    pub fn energy(&self, counts: &EventCounts) -> EnergyBreakdown {
+        let pe = counts.alu_ops as f64 * self.pe_op_pj()
+            + counts.gated_ops as f64 * self.gated_op_pj();
+        let regf = (counts.register_file_reads + counts.register_file_writes) as f64
+            * self.register_file_access_pj();
+        let noc = counts.inter_pe_transfers as f64 * self.inter_pe_transfer_pj();
+        let gbuf = (counts.global_buffer_reads + counts.global_buffer_writes) as f64
+            * self.global_buffer_access_pj()
+            + (counts.global_uop_fetches + counts.local_uop_fetches) as f64
+                * self.global_buffer_access_pj();
+        let dram =
+            (counts.dram_reads + counts.dram_writes) as f64 * self.dram_access_pj();
+        EnergyBreakdown {
+            pe_pj: pe,
+            register_file_pj: regf,
+            noc_pj: noc,
+            global_buffer_pj: gbuf,
+            dram_pj: dram,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::table_ii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_constants() {
+        let m = EnergyModel::table_ii();
+        assert_eq!(m.register_file_pj_per_bit, 0.20);
+        assert_eq!(m.pe_pj_per_bit, 0.36);
+        assert_eq!(m.inter_pe_pj_per_bit, 0.40);
+        assert_eq!(m.global_buffer_pj_per_bit, 1.20);
+        assert_eq!(m.dram_pj_per_bit, 15.00);
+        assert_eq!(m.word_bits, 16);
+    }
+
+    #[test]
+    fn relative_costs_match_table_ii_column() {
+        let rel = EnergyModel::table_ii().relative_costs();
+        let values: Vec<f64> = rel.iter().map(|(_, v)| *v).collect();
+        let expected = [1.0, 1.8, 2.0, 6.0, 75.0];
+        for (v, e) in values.iter().zip(expected.iter()) {
+            assert!((v - e).abs() < 1e-9, "{v} != {e}");
+        }
+    }
+
+    #[test]
+    fn per_word_costs_scale_with_word_width() {
+        let m = EnergyModel::table_ii();
+        assert!((m.pe_op_pj() - 0.36 * 16.0).abs() < 1e-12);
+        assert!((m.dram_access_pj() - 240.0).abs() < 1e-9);
+        let mut wide = m;
+        wide.word_bits = 32;
+        assert!((wide.pe_op_pj() - 0.36 * 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gated_ops_cost_less_than_full_ops() {
+        let m = EnergyModel::table_ii();
+        assert!(m.gated_op_pj() < m.pe_op_pj());
+        assert!(m.gated_op_pj() > 0.0);
+    }
+
+    #[test]
+    fn energy_charges_each_category() {
+        let m = EnergyModel::table_ii();
+        let counts = EventCounts {
+            alu_ops: 10,
+            gated_ops: 20,
+            register_file_reads: 30,
+            register_file_writes: 10,
+            inter_pe_transfers: 5,
+            global_buffer_reads: 4,
+            global_buffer_writes: 2,
+            dram_reads: 1,
+            dram_writes: 1,
+            local_uop_fetches: 8,
+            global_uop_fetches: 2,
+        };
+        let b = m.energy(&counts);
+        assert!((b.pe_pj - (10.0 * m.pe_op_pj() + 20.0 * m.gated_op_pj())).abs() < 1e-9);
+        assert!((b.register_file_pj - 40.0 * m.register_file_access_pj()).abs() < 1e-9);
+        assert!((b.noc_pj - 5.0 * m.inter_pe_transfer_pj()).abs() < 1e-9);
+        assert!((b.global_buffer_pj - 16.0 * m.global_buffer_access_pj()).abs() < 1e-9);
+        assert!((b.dram_pj - 2.0 * m.dram_access_pj()).abs() < 1e-9);
+        assert!((b.total_pj() - (b.pe_pj + b.register_file_pj + b.noc_pj + b.global_buffer_pj + b.dram_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_counts_are_free() {
+        let b = EnergyModel::table_ii().energy(&EventCounts::default());
+        assert_eq!(b.total_pj(), 0.0);
+    }
+}

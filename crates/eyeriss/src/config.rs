@@ -1,0 +1,61 @@
+//! Shared accelerator configuration (array size, clock, energy model).
+
+use ganax_dataflow::ArrayConfig;
+use ganax_energy::EnergyModel;
+
+/// Configuration shared by the Eyeriss baseline and the GANAX accelerator:
+/// the PE-array organization, the clock frequency and the Table II energy
+/// model. Both accelerators use identical values in the paper ("the same
+/// number of PEs and on-chip memory are used for both accelerators", 500 MHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// PE-array organization.
+    pub array: ArrayConfig,
+    /// Clock frequency in hertz.
+    pub frequency_hz: f64,
+    /// Per-access energy model.
+    pub energy: EnergyModel,
+}
+
+impl AcceleratorConfig {
+    /// The paper's configuration: 16 PVs × 16 PEs at 500 MHz with Table II
+    /// energies.
+    pub fn paper() -> Self {
+        AcceleratorConfig {
+            array: ArrayConfig::paper(),
+            frequency_hz: 500.0e6,
+            energy: EnergyModel::table_ii(),
+        }
+    }
+
+    /// Converts a cycle count to seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let cfg = AcceleratorConfig::paper();
+        assert_eq!(cfg.array.total_pes(), 256);
+        assert_eq!(cfg.frequency_hz, 500.0e6);
+        assert_eq!(cfg.energy.word_bits, 16);
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let cfg = AcceleratorConfig::paper();
+        assert!((cfg.cycles_to_seconds(500_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(cfg.cycles_to_seconds(0), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The Eyeriss baseline model: conventional dataflow with zero gating.
+
+use ganax_dataflow::{DataflowMode, LayerGeometry, ScheduleEstimate};
+use ganax_models::{Layer, Network};
+
+use crate::config::AcceleratorConfig;
+use crate::stats::{LayerStats, NetworkStats};
+use crate::traffic::TrafficModel;
+
+/// The Eyeriss-style baseline accelerator.
+///
+/// It runs every layer — conventional or transposed — with the conventional
+/// convolution dataflow. Transposed convolutions are executed densely over the
+/// zero-inserted input: zero-gating saves most of the arithmetic energy for
+/// the inserted zeros, but each one still costs a cycle and its operand
+/// traffic, which is where GANAX's advantage comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyerissModel {
+    config: AcceleratorConfig,
+}
+
+impl EyerissModel {
+    /// Creates the baseline with an explicit configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        EyerissModel { config }
+    }
+
+    /// Creates the baseline with the paper's configuration.
+    pub fn paper() -> Self {
+        Self::new(AcceleratorConfig::paper())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> AcceleratorConfig {
+        self.config
+    }
+
+    /// Runs one layer and returns its statistics.
+    pub fn run_layer(&self, layer: &Layer) -> LayerStats {
+        let geometry = LayerGeometry::for_layer(layer);
+        let schedule =
+            ScheduleEstimate::estimate(&geometry, self.config.array, DataflowMode::Conventional);
+        let traffic =
+            TrafficModel::layer_traffic(&geometry, &schedule, DataflowMode::Conventional);
+
+        // Zero gating: consequential MACs pay the full PE energy, the rest are
+        // gated (detected and suppressed) but still occupy their cycle.
+        let full_ops = geometry.consequential_macs;
+        let gated_ops = geometry.dense_macs - geometry.consequential_macs;
+        // The baseline runs in pure SIMD mode: one global µop fetch per pass,
+        // no local µop buffers.
+        let global_uop_fetches = schedule.passes;
+        let counts =
+            TrafficModel::to_event_counts(&traffic, full_ops, gated_ops, 0, global_uop_fetches);
+        let energy = self.config.energy.energy(&counts);
+
+        LayerStats {
+            name: layer.name.clone(),
+            is_tconv: layer.is_tconv(),
+            cycles: schedule.schedule_cycles,
+            dense_macs: geometry.dense_macs,
+            consequential_macs: geometry.consequential_macs,
+            counts,
+            energy,
+            utilization: schedule.utilization(self.config.array),
+        }
+    }
+
+    /// Runs a whole network and returns its statistics.
+    pub fn run_network(&self, network: &Network) -> NetworkStats {
+        NetworkStats {
+            network: network.name().to_string(),
+            accelerator: "EYERISS",
+            layers: network.layers().iter().map(|l| self.run_layer(l)).collect(),
+        }
+    }
+}
+
+impl Default for EyerissModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganax_models::zoo;
+
+    #[test]
+    fn conv_layers_have_no_gated_ops() {
+        let model = EyerissModel::paper();
+        let dcgan = zoo::dcgan();
+        let stats = model.run_network(&dcgan.discriminator);
+        for layer in &stats.layers {
+            assert_eq!(layer.counts.gated_ops, 0, "{}", layer.name);
+            assert_eq!(layer.dense_macs, layer.consequential_macs);
+        }
+    }
+
+    #[test]
+    fn tconv_layers_spend_cycles_on_inserted_zeros() {
+        let model = EyerissModel::paper();
+        let dcgan = zoo::dcgan();
+        let stats = model.run_network(&dcgan.generator);
+        let tconv = stats
+            .layers
+            .iter()
+            .find(|l| l.is_tconv)
+            .expect("generator has tconv layers");
+        assert!(tconv.counts.gated_ops > 0);
+        assert!(tconv.counts.gated_ops > tconv.counts.alu_ops);
+        // Utilization suffers accordingly.
+        assert!(tconv.utilization < 0.5, "utilization = {}", tconv.utilization);
+    }
+
+    #[test]
+    fn discriminator_utilization_is_high() {
+        let model = EyerissModel::paper();
+        let stats = model.run_network(&zoo::dcgan().discriminator);
+        assert!(
+            stats.average_utilization() > 0.6,
+            "utilization = {}",
+            stats.average_utilization()
+        );
+    }
+
+    #[test]
+    fn generator_energy_exceeds_zero() {
+        let model = EyerissModel::paper();
+        let stats = model.run_network(&zoo::dcgan().generator);
+        let energy = stats.total_energy();
+        assert!(energy.pe_pj > 0.0);
+        assert!(energy.register_file_pj > 0.0);
+        assert!(energy.dram_pj > 0.0);
+        assert!(energy.global_buffer_pj > 0.0);
+        assert!(energy.noc_pj > 0.0);
+    }
+
+    #[test]
+    fn cycles_scale_with_model_size() {
+        let model = EyerissModel::paper();
+        let dcgan = model.run_network(&zoo::dcgan().generator).total_cycles();
+        let three_d = model
+            .run_network(&zoo::three_d_gan().generator)
+            .total_cycles();
+        // The volumetric 3D-GAN generator is far more expensive than DCGAN's.
+        assert!(three_d > dcgan);
+    }
+
+    #[test]
+    fn run_layer_matches_network_totals() {
+        let model = EyerissModel::paper();
+        let gen = zoo::dcgan().generator;
+        let per_layer: u64 = gen.layers().iter().map(|l| model.run_layer(l).cycles).sum();
+        assert_eq!(per_layer, model.run_network(&gen).total_cycles());
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-layer and per-network execution statistics.
+
+use ganax_energy::{EnergyBreakdown, EventCounts};
+
+/// Execution statistics of one layer on one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// Layer name.
+    pub name: String,
+    /// Whether the layer is a transposed convolution.
+    pub is_tconv: bool,
+    /// Wall-clock cycles.
+    pub cycles: u64,
+    /// Dense MACs of the layer (zeros included).
+    pub dense_macs: u64,
+    /// Consequential MACs of the layer.
+    pub consequential_macs: u64,
+    /// Activity counts charged to the energy model.
+    pub counts: EventCounts,
+    /// Energy broken down by microarchitectural unit.
+    pub energy: EnergyBreakdown,
+    /// PE utilization over the layer's schedule (consequential work only).
+    pub utilization: f64,
+}
+
+impl LayerStats {
+    /// Total energy of the layer in picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+}
+
+/// Execution statistics of a whole network on one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Network name.
+    pub network: String,
+    /// Accelerator name (for reporting).
+    pub accelerator: &'static str,
+    /// Per-layer statistics in execution order.
+    pub layers: Vec<LayerStats>,
+}
+
+impl NetworkStats {
+    /// Total cycles across all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total activity counts across all layers.
+    pub fn total_counts(&self) -> EventCounts {
+        self.layers.iter().map(|l| l.counts).sum()
+    }
+
+    /// Total energy across all layers.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.layers.iter().map(|l| l.energy).sum()
+    }
+
+    /// Cycle-weighted average PE utilization (Figure 11's metric).
+    pub fn average_utilization(&self) -> f64 {
+        let total_cycles = self.total_cycles();
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.utilization * l.cycles as f64)
+            .sum::<f64>()
+            / total_cycles as f64
+    }
+
+    /// Cycles spent in transposed-convolution layers.
+    pub fn tconv_cycles(&self) -> u64 {
+        self.layers.iter().filter(|l| l.is_tconv).map(|l| l.cycles).sum()
+    }
+
+    /// Energy spent in transposed-convolution layers.
+    pub fn tconv_energy_pj(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.is_tconv)
+            .map(|l| l.energy.total_pj())
+            .sum()
+    }
+
+    /// Finds a layer's statistics by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerStats> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, cycles: u64, is_tconv: bool, util: f64) -> LayerStats {
+        LayerStats {
+            name: name.to_string(),
+            is_tconv,
+            cycles,
+            dense_macs: cycles * 10,
+            consequential_macs: cycles * 5,
+            counts: EventCounts {
+                alu_ops: cycles,
+                ..EventCounts::default()
+            },
+            energy: EnergyBreakdown {
+                pe_pj: cycles as f64,
+                ..EnergyBreakdown::default()
+            },
+            utilization: util,
+        }
+    }
+
+    fn stats() -> NetworkStats {
+        NetworkStats {
+            network: "test".into(),
+            accelerator: "EYERISS",
+            layers: vec![
+                layer("conv1", 100, false, 0.9),
+                layer("tconv1", 300, true, 0.3),
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let s = stats();
+        assert_eq!(s.total_cycles(), 400);
+        assert_eq!(s.total_counts().alu_ops, 400);
+        assert_eq!(s.total_energy().total_pj(), 400.0);
+        assert_eq!(s.tconv_cycles(), 300);
+        assert_eq!(s.tconv_energy_pj(), 300.0);
+    }
+
+    #[test]
+    fn average_utilization_is_cycle_weighted() {
+        let s = stats();
+        let expected = (0.9 * 100.0 + 0.3 * 300.0) / 400.0;
+        assert!((s.average_utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_lookup_by_name() {
+        let s = stats();
+        assert!(s.layer("conv1").is_some());
+        assert!(s.layer("missing").is_none());
+        assert_eq!(s.layer("tconv1").unwrap().total_energy_pj(), 300.0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_utilization() {
+        let s = NetworkStats {
+            network: "empty".into(),
+            accelerator: "GANAX",
+            layers: vec![],
+        };
+        assert_eq!(s.average_utilization(), 0.0);
+        assert_eq!(s.total_cycles(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The two-level µop buffer hierarchy (Section III.A).
+//!
+//! * The **global µop buffer** holds 32 packed 64-bit entries and is
+//!   double-buffered so the µops of layer *i+1* can be loaded while layer *i*
+//!   executes.
+//! * Each processing vector owns a **local µop buffer** of 16 execute µops that
+//!   is preloaded once before a GAN starts and never drained or refilled.
+
+use std::fmt;
+
+use crate::encode::GlobalUopWord;
+use crate::uop::ExecUop;
+
+/// Number of entries in each PV's local µop buffer (paper configuration).
+pub const LOCAL_UOP_ENTRIES: usize = 16;
+
+/// Number of entries in the global µop buffer (paper configuration).
+pub const GLOBAL_UOP_ENTRIES: usize = 32;
+
+/// Errors raised by the µop buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferError {
+    /// Attempted to load more µops than the buffer has entries.
+    CapacityExceeded {
+        /// Buffer capacity.
+        capacity: usize,
+        /// Number of µops that were supplied.
+        supplied: usize,
+    },
+    /// Read past the number of loaded entries.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::CapacityExceeded { capacity, supplied } => {
+                write!(f, "buffer holds {capacity} entries but {supplied} were supplied")
+            }
+            BufferError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for {len} loaded entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// A processing vector's local µop buffer.
+///
+/// Local buffers are preloaded with the (small) set of execute µops a GAN needs
+/// and are indexed by the 4-bit per-PV fields of MIMD-SIMD global µops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalUopBuffer {
+    entries: Vec<ExecUop>,
+    capacity: usize,
+    reads: u64,
+}
+
+impl LocalUopBuffer {
+    /// Creates an empty local buffer with the paper's 16-entry capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(LOCAL_UOP_ENTRIES)
+    }
+
+    /// Creates an empty local buffer with a custom capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LocalUopBuffer {
+            entries: Vec::new(),
+            capacity,
+            reads: 0,
+        }
+    }
+
+    /// Preloads the buffer contents, replacing anything previously loaded.
+    ///
+    /// # Errors
+    /// Returns [`BufferError::CapacityExceeded`] if more µops are supplied than
+    /// the buffer can hold.
+    pub fn load(&mut self, uops: &[ExecUop]) -> Result<(), BufferError> {
+        if uops.len() > self.capacity {
+            return Err(BufferError::CapacityExceeded {
+                capacity: self.capacity,
+                supplied: uops.len(),
+            });
+        }
+        self.entries = uops.to_vec();
+        Ok(())
+    }
+
+    /// Fetches the µop at `index`, counting the access.
+    ///
+    /// # Errors
+    /// Returns [`BufferError::IndexOutOfRange`] for unloaded slots.
+    pub fn fetch(&mut self, index: usize) -> Result<ExecUop, BufferError> {
+        let uop = self
+            .entries
+            .get(index)
+            .copied()
+            .ok_or(BufferError::IndexOutOfRange {
+                index,
+                len: self.entries.len(),
+            })?;
+        self.reads += 1;
+        Ok(uop)
+    }
+
+    /// Number of µops currently loaded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no µops.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of fetches served (for energy accounting).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+impl Default for LocalUopBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The double-buffered global µop buffer.
+///
+/// One bank drains while the other is being filled with the next layer's µops;
+/// [`GlobalUopBuffer::swap`] flips the roles between layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalUopBuffer {
+    banks: [Vec<GlobalUopWord>; 2],
+    active: usize,
+    capacity: usize,
+    reads: u64,
+}
+
+impl GlobalUopBuffer {
+    /// Creates an empty buffer with the paper's 32-entry capacity per bank.
+    pub fn new() -> Self {
+        Self::with_capacity(GLOBAL_UOP_ENTRIES)
+    }
+
+    /// Creates an empty buffer with a custom per-bank capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        GlobalUopBuffer {
+            banks: [Vec::new(), Vec::new()],
+            active: 0,
+            capacity,
+            reads: 0,
+        }
+    }
+
+    /// Loads µop words into the *inactive* bank (the one being prepared for the
+    /// next layer).
+    ///
+    /// # Errors
+    /// Returns [`BufferError::CapacityExceeded`] if the words do not fit.
+    pub fn load_next(&mut self, words: &[GlobalUopWord]) -> Result<(), BufferError> {
+        if words.len() > self.capacity {
+            return Err(BufferError::CapacityExceeded {
+                capacity: self.capacity,
+                supplied: words.len(),
+            });
+        }
+        let inactive = 1 - self.active;
+        self.banks[inactive] = words.to_vec();
+        Ok(())
+    }
+
+    /// Makes the most recently loaded bank active (start of a new layer).
+    pub fn swap(&mut self) {
+        self.active = 1 - self.active;
+    }
+
+    /// Fetches the word at `index` from the active bank.
+    ///
+    /// # Errors
+    /// Returns [`BufferError::IndexOutOfRange`] for unloaded slots.
+    pub fn fetch(&mut self, index: usize) -> Result<GlobalUopWord, BufferError> {
+        let bank = &self.banks[self.active];
+        let word = bank
+            .get(index)
+            .copied()
+            .ok_or(BufferError::IndexOutOfRange {
+                index,
+                len: bank.len(),
+            })?;
+        self.reads += 1;
+        Ok(word)
+    }
+
+    /// Number of words in the active bank.
+    pub fn active_len(&self) -> usize {
+        self.banks[self.active].len()
+    }
+
+    /// Per-bank capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of fetches served (for energy accounting).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+impl Default for GlobalUopBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::GlobalUop;
+
+    #[test]
+    fn local_buffer_load_and_fetch() {
+        let mut buf = LocalUopBuffer::new();
+        assert!(buf.is_empty());
+        buf.load(&[ExecUop::Mac, ExecUop::Act]).unwrap();
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.fetch(0).unwrap(), ExecUop::Mac);
+        assert_eq!(buf.fetch(1).unwrap(), ExecUop::Act);
+        assert_eq!(buf.reads(), 2);
+    }
+
+    #[test]
+    fn local_buffer_rejects_overflow() {
+        let mut buf = LocalUopBuffer::new();
+        let too_many = vec![ExecUop::Mac; LOCAL_UOP_ENTRIES + 1];
+        assert!(matches!(
+            buf.load(&too_many),
+            Err(BufferError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn local_buffer_rejects_out_of_range_fetch() {
+        let mut buf = LocalUopBuffer::new();
+        buf.load(&[ExecUop::Mac]).unwrap();
+        assert!(matches!(
+            buf.fetch(5),
+            Err(BufferError::IndexOutOfRange { index: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn global_buffer_double_buffering() {
+        let mut buf = GlobalUopBuffer::new();
+        let layer1 =
+            vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Mac), 16).unwrap(); 3];
+        let layer2 =
+            vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Act), 16).unwrap(); 2];
+
+        buf.load_next(&layer1).unwrap();
+        buf.swap();
+        assert_eq!(buf.active_len(), 3);
+        // While layer 1 executes, layer 2 is loaded into the other bank.
+        buf.load_next(&layer2).unwrap();
+        assert_eq!(buf.active_len(), 3, "loading must not disturb the active bank");
+        let word = buf.fetch(0).unwrap();
+        assert_eq!(GlobalUop::decode(word, 16).unwrap(), GlobalUop::Simd(ExecUop::Mac));
+
+        buf.swap();
+        assert_eq!(buf.active_len(), 2);
+        let word = buf.fetch(0).unwrap();
+        assert_eq!(GlobalUop::decode(word, 16).unwrap(), GlobalUop::Simd(ExecUop::Act));
+    }
+
+    #[test]
+    fn global_buffer_capacity_enforced() {
+        let mut buf = GlobalUopBuffer::new();
+        let too_many =
+            vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Nop), 16).unwrap(); 33];
+        assert!(matches!(
+            buf.load_next(&too_many),
+            Err(BufferError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn default_capacities_match_paper() {
+        assert_eq!(LocalUopBuffer::new().capacity(), 16);
+        assert_eq!(GlobalUopBuffer::new().capacity(), 32);
+    }
+}

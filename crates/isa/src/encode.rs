@@ -1,0 +1,238 @@
+//! Bit-level encoding of global µop buffer entries.
+//!
+//! The paper's global µop buffer stores 32 entries of 64 bits: four bits per
+//! processing vector (16 PVs × 4 bits = 64 bits) plus one extra bit that selects
+//! the execution mode (SIMD vs MIMD-SIMD). This module packs and unpacks that
+//! format; in SIMD mode the four low bits carry the broadcast execute µop's
+//! opcode and the remaining index fields are unused.
+
+use std::fmt;
+
+use crate::uop::{ExecUop, GlobalUop};
+
+/// Errors produced while encoding or decoding global µop words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A MIMD entry supplied a different number of indices than there are PVs.
+    WrongIndexCount {
+        /// Number of indices supplied.
+        supplied: usize,
+        /// Number of processing vectors expected.
+        expected: usize,
+    },
+    /// A local-buffer index does not fit in the 4-bit per-PV field.
+    IndexTooLarge {
+        /// The offending index value.
+        index: u8,
+    },
+    /// More PVs were requested than the 64-bit payload can address.
+    TooManyPvs {
+        /// The requested PV count.
+        pvs: usize,
+    },
+    /// The decoded opcode is not a valid execute µop.
+    InvalidOpcode {
+        /// The offending opcode value.
+        opcode: u8,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::WrongIndexCount { supplied, expected } => write!(
+                f,
+                "mimd.exe supplied {supplied} indices but the accelerator has {expected} PVs"
+            ),
+            EncodeError::IndexTooLarge { index } => {
+                write!(f, "local uop index {index} does not fit in 4 bits")
+            }
+            EncodeError::TooManyPvs { pvs } => {
+                write!(f, "{pvs} PVs exceed the 16 addressable by a 64-bit global uop")
+            }
+            EncodeError::InvalidOpcode { opcode } => {
+                write!(f, "invalid execute uop opcode {opcode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A packed global µop buffer entry: a 64-bit payload plus the mode bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalUopWord {
+    /// True for SIMD mode (local buffers bypassed), false for MIMD-SIMD mode.
+    pub simd_mode: bool,
+    /// 4 bits per PV: local-buffer indices in MIMD-SIMD mode, or the broadcast
+    /// opcode in the low nibble in SIMD mode.
+    pub payload: u64,
+}
+
+/// Maximum number of processing vectors addressable by one 64-bit entry.
+pub const MAX_PVS_PER_WORD: usize = 16;
+
+impl GlobalUopWord {
+    /// Packs a decoded [`GlobalUop`] into its 64-bit + mode-bit representation.
+    ///
+    /// # Errors
+    /// Returns an [`EncodeError`] if the index vector length does not match
+    /// `num_pvs`, an index exceeds 4 bits, or `num_pvs` exceeds 16.
+    pub fn encode(uop: &GlobalUop, num_pvs: usize) -> Result<Self, EncodeError> {
+        if num_pvs > MAX_PVS_PER_WORD {
+            return Err(EncodeError::TooManyPvs { pvs: num_pvs });
+        }
+        match uop {
+            GlobalUop::Simd(exec) => Ok(GlobalUopWord {
+                simd_mode: true,
+                payload: exec.opcode() as u64,
+            }),
+            GlobalUop::MimdExe(indices) => {
+                if indices.len() != num_pvs {
+                    return Err(EncodeError::WrongIndexCount {
+                        supplied: indices.len(),
+                        expected: num_pvs,
+                    });
+                }
+                let mut payload = 0u64;
+                for (pv, idx) in indices.iter().enumerate() {
+                    if *idx > 0xF {
+                        return Err(EncodeError::IndexTooLarge { index: *idx });
+                    }
+                    payload |= (*idx as u64) << (4 * pv);
+                }
+                Ok(GlobalUopWord {
+                    simd_mode: false,
+                    payload,
+                })
+            }
+        }
+    }
+
+    /// Extracts the 4-bit field of one PV from the payload.
+    pub fn pv_field(&self, pv: usize) -> u8 {
+        ((self.payload >> (4 * pv)) & 0xF) as u8
+    }
+}
+
+impl GlobalUop {
+    /// Unpacks a [`GlobalUopWord`] back into its decoded form.
+    ///
+    /// # Errors
+    /// Returns [`EncodeError::InvalidOpcode`] if a SIMD word carries an unknown
+    /// opcode, or [`EncodeError::TooManyPvs`] if `num_pvs` exceeds 16.
+    pub fn decode(word: GlobalUopWord, num_pvs: usize) -> Result<Self, EncodeError> {
+        if num_pvs > MAX_PVS_PER_WORD {
+            return Err(EncodeError::TooManyPvs { pvs: num_pvs });
+        }
+        if word.simd_mode {
+            let opcode = (word.payload & 0xF) as u8;
+            let exec = ExecUop::from_opcode(opcode)
+                .ok_or(EncodeError::InvalidOpcode { opcode })?;
+            Ok(GlobalUop::Simd(exec))
+        } else {
+            Ok(GlobalUop::MimdExe(
+                (0..num_pvs).map(|pv| word.pv_field(pv)).collect(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simd_round_trip_all_opcodes() {
+        for exec in ExecUop::ALL {
+            let uop = GlobalUop::Simd(exec);
+            let word = GlobalUopWord::encode(&uop, 16).unwrap();
+            assert!(word.simd_mode);
+            assert_eq!(GlobalUop::decode(word, 16).unwrap(), uop);
+        }
+    }
+
+    #[test]
+    fn mimd_round_trip_distinct_indices() {
+        let indices: Vec<u8> = (0..16).map(|i| (15 - i) as u8).collect();
+        let uop = GlobalUop::MimdExe(indices.clone());
+        let word = GlobalUopWord::encode(&uop, 16).unwrap();
+        assert!(!word.simd_mode);
+        for (pv, idx) in indices.iter().enumerate() {
+            assert_eq!(word.pv_field(pv), *idx);
+        }
+        assert_eq!(GlobalUop::decode(word, 16).unwrap(), uop);
+    }
+
+    #[test]
+    fn encode_rejects_wrong_index_count() {
+        let uop = GlobalUop::MimdExe(vec![0; 8]);
+        let err = GlobalUopWord::encode(&uop, 16).unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::WrongIndexCount {
+                supplied: 8,
+                expected: 16
+            }
+        );
+    }
+
+    #[test]
+    fn encode_rejects_oversized_index() {
+        let uop = GlobalUop::MimdExe(vec![16; 16]);
+        assert_eq!(
+            GlobalUopWord::encode(&uop, 16).unwrap_err(),
+            EncodeError::IndexTooLarge { index: 16 }
+        );
+    }
+
+    #[test]
+    fn encode_rejects_too_many_pvs() {
+        let uop = GlobalUop::Simd(ExecUop::Mac);
+        assert_eq!(
+            GlobalUopWord::encode(&uop, 17).unwrap_err(),
+            EncodeError::TooManyPvs { pvs: 17 }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_invalid_opcode() {
+        let word = GlobalUopWord {
+            simd_mode: true,
+            payload: 0xF,
+        };
+        assert_eq!(
+            GlobalUop::decode(word, 16).unwrap_err(),
+            EncodeError::InvalidOpcode { opcode: 0xF }
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let msg = EncodeError::IndexTooLarge { index: 20 }.to_string();
+        assert!(msg.contains("20"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mimd_round_trip(indices in proptest::collection::vec(0u8..16, 1..=16)) {
+            let pvs = indices.len();
+            let uop = GlobalUop::MimdExe(indices);
+            let word = GlobalUopWord::encode(&uop, pvs).unwrap();
+            prop_assert_eq!(GlobalUop::decode(word, pvs).unwrap(), uop);
+        }
+
+        #[test]
+        fn prop_payload_fits_four_bits_per_pv(indices in proptest::collection::vec(0u8..16, 16)) {
+            let uop = GlobalUop::MimdExe(indices);
+            let word = GlobalUopWord::encode(&uop, 16).unwrap();
+            // Reconstructing the payload from the 4-bit fields is lossless.
+            let mut rebuilt = 0u64;
+            for pv in 0..16 {
+                rebuilt |= (word.pv_field(pv) as u64) << (4 * pv);
+            }
+            prop_assert_eq!(rebuilt, word.payload);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The GANAX micro-op ISA (Section IV of the paper).
+//!
+//! GANAX executes layers as sequences of *µops* drawn from three groups:
+//!
+//! * **Access µops** (`access.cfg`, `access.start`, `access.stop`) configure and
+//!   control the strided µindex generators inside each PE's access µ-engine.
+//! * **Execute µops** (`add`, `mul`, `mac`, `pool`, `act`, `repeat`) name only
+//!   the operation to perform; the decoupled access µ-engine supplies every
+//!   operand address, which is what lets the same execute µop be reused over
+//!   millions of operands.
+//! * **MIMD µops** (`mimd.ld`, `mimd.exe`) live in the global µop buffer and
+//!   steer the per-processing-vector (PV) local µop buffers, realising the
+//!   unified MIMD-SIMD execution model.
+//!
+//! The crate also models the two-level µop buffer hierarchy: a 32-entry
+//! double-buffered global buffer whose 64-bit entries carry one 4-bit local
+//! index per PV plus a mode bit, and a 16-entry local buffer per PV.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax_isa::{ExecUop, GlobalUop, GlobalUopWord};
+//!
+//! // A SIMD global µop broadcasting `mac` to every PE:
+//! let simd = GlobalUop::Simd(ExecUop::Mac);
+//! let word = GlobalUopWord::encode(&simd, 16).unwrap();
+//! assert_eq!(GlobalUop::decode(word, 16).unwrap(), simd);
+//!
+//! // A MIMD-SIMD global µop pointing each of 16 PVs at a local-buffer slot:
+//! let mimd = GlobalUop::MimdExe((0..16).map(|i| (i % 16) as u8).collect());
+//! let word = GlobalUopWord::encode(&mimd, 16).unwrap();
+//! assert_eq!(GlobalUop::decode(word, 16).unwrap(), mimd);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod encode;
+mod program;
+mod uop;
+
+pub use buffer::{
+    BufferError, GlobalUopBuffer, LocalUopBuffer, GLOBAL_UOP_ENTRIES, LOCAL_UOP_ENTRIES,
+};
+pub use encode::{EncodeError, GlobalUopWord};
+pub use program::{LayerProgram, ProgramStats};
+pub use uop::{AccessReg, AccessUop, AddrGenKind, ExecUop, GlobalUop, MicroRegister, MimdUop};

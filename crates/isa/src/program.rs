@@ -1,0 +1,225 @@
+//! Compiled per-layer µop programs.
+//!
+//! Before a layer starts, the host statically translates its high-level
+//! description into (1) access µops configuring the strided index generators,
+//! (2) `mimd.ld` µops priming per-PE registers, (3) the local µop buffer image
+//! of every PV and (4) the sequence of global µop entries that drives the
+//! layer's steady state. [`LayerProgram`] bundles those four pieces; the GANAX
+//! machine in the `ganax` crate consumes it.
+
+use crate::buffer::{BufferError, LocalUopBuffer, LOCAL_UOP_ENTRIES};
+use crate::uop::{AccessUop, ExecUop, GlobalUop, MimdUop};
+
+/// The compiled µop program of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProgram {
+    /// Human-readable name of the layer the program implements.
+    pub layer_name: String,
+    /// Access µops issued before the steady state (index-generator setup).
+    pub access_setup: Vec<AccessUop>,
+    /// `mimd.ld` register preloads issued before the steady state.
+    pub register_setup: Vec<MimdUop>,
+    /// Per-PV local µop buffer image (one inner vector per PV).
+    pub local_images: Vec<Vec<ExecUop>>,
+    /// Steady-state global µop sequence.
+    pub global_sequence: Vec<GlobalUop>,
+}
+
+impl LayerProgram {
+    /// Creates an empty program for a layer.
+    pub fn new(layer_name: impl Into<String>, num_pvs: usize) -> Self {
+        LayerProgram {
+            layer_name: layer_name.into(),
+            access_setup: Vec::new(),
+            register_setup: Vec::new(),
+            local_images: vec![Vec::new(); num_pvs],
+            global_sequence: Vec::new(),
+        }
+    }
+
+    /// Number of processing vectors the program targets.
+    pub fn num_pvs(&self) -> usize {
+        self.local_images.len()
+    }
+
+    /// Ensures an execute µop is present in a PV's local image and returns its
+    /// 4-bit index, reusing an existing slot when possible.
+    ///
+    /// # Errors
+    /// Returns [`BufferError::CapacityExceeded`] when the image already holds
+    /// [`LOCAL_UOP_ENTRIES`] distinct µops.
+    pub fn intern_local(&mut self, pv: usize, uop: ExecUop) -> Result<u8, BufferError> {
+        let image = &mut self.local_images[pv];
+        if let Some(pos) = image.iter().position(|u| *u == uop) {
+            return Ok(pos as u8);
+        }
+        if image.len() >= LOCAL_UOP_ENTRIES {
+            return Err(BufferError::CapacityExceeded {
+                capacity: LOCAL_UOP_ENTRIES,
+                supplied: image.len() + 1,
+            });
+        }
+        image.push(uop);
+        Ok((image.len() - 1) as u8)
+    }
+
+    /// Appends a SIMD global µop to the steady-state sequence.
+    pub fn push_simd(&mut self, uop: ExecUop) {
+        self.global_sequence.push(GlobalUop::Simd(uop));
+    }
+
+    /// Appends a MIMD-SIMD global µop dispatching one execute µop per PV; the
+    /// µops are interned into the local images automatically.
+    ///
+    /// # Errors
+    /// Propagates local-image capacity errors.
+    pub fn push_mimd(&mut self, per_pv: &[ExecUop]) -> Result<(), BufferError> {
+        assert_eq!(
+            per_pv.len(),
+            self.num_pvs(),
+            "one execute uop per PV is required"
+        );
+        let mut indices = Vec::with_capacity(per_pv.len());
+        for (pv, uop) in per_pv.iter().enumerate() {
+            indices.push(self.intern_local(pv, *uop)?);
+        }
+        self.global_sequence.push(GlobalUop::MimdExe(indices));
+        Ok(())
+    }
+
+    /// Builds the per-PV [`LocalUopBuffer`]s described by the local images.
+    ///
+    /// # Errors
+    /// Propagates capacity errors (cannot occur for images built through
+    /// [`LayerProgram::intern_local`]).
+    pub fn build_local_buffers(&self) -> Result<Vec<LocalUopBuffer>, BufferError> {
+        self.local_images
+            .iter()
+            .map(|image| {
+                let mut buffer = LocalUopBuffer::new();
+                buffer.load(image)?;
+                Ok(buffer)
+            })
+            .collect()
+    }
+
+    /// Summary statistics of the program.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            access_uops: self.access_setup.len(),
+            register_uops: self.register_setup.len(),
+            global_entries: self.global_sequence.len(),
+            simd_entries: self
+                .global_sequence
+                .iter()
+                .filter(|u| u.is_simd())
+                .count(),
+            max_local_entries: self
+                .local_images
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Footprint statistics of a [`LayerProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Number of access-setup µops.
+    pub access_uops: usize,
+    /// Number of `mimd.ld` register preloads.
+    pub register_uops: usize,
+    /// Number of steady-state global entries.
+    pub global_entries: usize,
+    /// How many of the global entries run in SIMD mode.
+    pub simd_entries: usize,
+    /// Largest local µop image across PVs.
+    pub max_local_entries: usize,
+}
+
+impl ProgramStats {
+    /// How many of the global entries run in MIMD-SIMD mode.
+    pub fn mimd_entries(&self) -> usize {
+        self.global_entries - self.simd_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{AccessReg, AddrGenKind};
+
+    #[test]
+    fn intern_local_reuses_slots() {
+        let mut prog = LayerProgram::new("layer", 4);
+        let a = prog.intern_local(0, ExecUop::Mac).unwrap();
+        let b = prog.intern_local(0, ExecUop::Act).unwrap();
+        let c = prog.intern_local(0, ExecUop::Mac).unwrap();
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(prog.local_images[0].len(), 2);
+    }
+
+    #[test]
+    fn intern_local_respects_capacity() {
+        let mut prog = LayerProgram::new("layer", 1);
+        // Fill the 16 entries with distinct combinations by abusing Nop/others:
+        // only 7 distinct ExecUops exist, so fill artificially.
+        prog.local_images[0] = vec![ExecUop::Nop; LOCAL_UOP_ENTRIES];
+        let err = prog.intern_local(0, ExecUop::Mac).unwrap_err();
+        assert!(matches!(err, BufferError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn push_mimd_interns_and_records_indices() {
+        let mut prog = LayerProgram::new("layer", 3);
+        prog.push_mimd(&[ExecUop::Mac, ExecUop::Mac, ExecUop::Act])
+            .unwrap();
+        prog.push_mimd(&[ExecUop::Act, ExecUop::Mac, ExecUop::Act])
+            .unwrap();
+        assert_eq!(prog.global_sequence.len(), 2);
+        match &prog.global_sequence[1] {
+            GlobalUop::MimdExe(indices) => {
+                // PV0's second uop (Act) was interned after Mac -> index 1.
+                assert_eq!(indices[0], 1);
+                // PV1 reuses Mac at index 0.
+                assert_eq!(indices[1], 0);
+                // PV2 reuses Act at index 0.
+                assert_eq!(indices[2], 0);
+            }
+            other => panic!("expected MIMD entry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_modes() {
+        let mut prog = LayerProgram::new("layer", 2);
+        prog.access_setup.push(AccessUop::Cfg {
+            pv: 0,
+            gen: AddrGenKind::Input,
+            reg: AccessReg::Step,
+            imm: 2,
+        });
+        prog.push_simd(ExecUop::Mac);
+        prog.push_mimd(&[ExecUop::Mac, ExecUop::Act]).unwrap();
+        let stats = prog.stats();
+        assert_eq!(stats.access_uops, 1);
+        assert_eq!(stats.global_entries, 2);
+        assert_eq!(stats.simd_entries, 1);
+        assert_eq!(stats.mimd_entries(), 1);
+        // Each PV interned exactly one distinct execute uop.
+        assert_eq!(stats.max_local_entries, 1);
+    }
+
+    #[test]
+    fn build_local_buffers_matches_images() {
+        let mut prog = LayerProgram::new("layer", 2);
+        prog.push_mimd(&[ExecUop::Mac, ExecUop::Act]).unwrap();
+        let buffers = prog.build_local_buffers().unwrap();
+        assert_eq!(buffers.len(), 2);
+        assert_eq!(buffers[0].len(), 1);
+        assert_eq!(buffers[1].len(), 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Micro-op definitions: access, execute and MIMD groups (Section IV.B–C).
+
+use std::fmt;
+
+/// The three strided µindex generators inside each access µ-engine
+/// (Figure 7a): one per data buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddrGenKind {
+    /// Generates input-buffer addresses.
+    Input,
+    /// Generates weight-buffer addresses.
+    Weight,
+    /// Generates output-buffer addresses.
+    Output,
+}
+
+impl AddrGenKind {
+    /// All generator kinds, in the order used when indexing generator arrays.
+    pub const ALL: [AddrGenKind; 3] = [AddrGenKind::Input, AddrGenKind::Weight, AddrGenKind::Output];
+
+    /// Stable index of the generator within a PE's access µ-engine.
+    pub fn index(self) -> usize {
+        match self {
+            AddrGenKind::Input => 0,
+            AddrGenKind::Weight => 1,
+            AddrGenKind::Output => 2,
+        }
+    }
+}
+
+/// The five configuration registers of a strided µindex generator
+/// (Figure 7b): `Addr.`, `Offset`, `Step`, `End` and `Repeat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessReg {
+    /// Initial address from which generation starts.
+    Addr,
+    /// Constant added to every generated address.
+    Offset,
+    /// Distance between two consecutive addresses.
+    Step,
+    /// Exclusive upper bound at which generation wraps around.
+    End,
+    /// Number of times the configured pattern is replayed.
+    Repeat,
+}
+
+impl AccessReg {
+    /// All configuration registers in `access.cfg` destination order.
+    pub const ALL: [AccessReg; 5] = [
+        AccessReg::Addr,
+        AccessReg::Offset,
+        AccessReg::Step,
+        AccessReg::End,
+        AccessReg::Repeat,
+    ];
+}
+
+/// Microarchitectural registers addressable by `mimd.ld` (Section IV.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroRegister {
+    /// The per-PE repeat counter consumed by the `repeat` execute µop.
+    RepeatCount,
+    /// Selects the non-linear function applied by the `act` µop.
+    ActivationSelect,
+}
+
+/// Access-group µops: configure and control the strided µindex generators.
+///
+/// Every access µop names the processing vector it applies to (`pv`) and the
+/// targeted address generator within each PE of that PV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessUop {
+    /// `access.cfg %pv, %addrgen, %dst, imm` — load a 16-bit immediate into one
+    /// of the five configuration registers of an address generator.
+    Cfg {
+        /// Target processing vector.
+        pv: u8,
+        /// Target address generator.
+        gen: AddrGenKind,
+        /// Destination configuration register.
+        reg: AccessReg,
+        /// Immediate value to load.
+        imm: u16,
+    },
+    /// `access.start %pv, %addrgen` — begin address generation.
+    Start {
+        /// Target processing vector.
+        pv: u8,
+        /// Target address generator.
+        gen: AddrGenKind,
+    },
+    /// `access.stop %pv, %addrgen` — interrupt address generation.
+    Stop {
+        /// Target processing vector.
+        pv: u8,
+        /// Target address generator.
+        gen: AddrGenKind,
+    },
+}
+
+impl AccessUop {
+    /// The processing vector this µop targets.
+    pub fn pv(&self) -> u8 {
+        match self {
+            AccessUop::Cfg { pv, .. } | AccessUop::Start { pv, .. } | AccessUop::Stop { pv, .. } => {
+                *pv
+            }
+        }
+    }
+}
+
+/// Execute-group µops (the SIMD group of Section IV.C).
+///
+/// Execute µops carry no operand addresses: the decoupled access µ-engine
+/// supplies source and destination addresses, so the very same µop is replayed
+/// over arbitrarily many operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUop {
+    /// Element-wise addition of two sources into a destination.
+    Add,
+    /// Element-wise multiplication of two sources into a destination.
+    Mul,
+    /// Multiply-accumulate: `acc += input * weight`, destination written when
+    /// the access engine supplies an output address.
+    Mac,
+    /// Pooling (max) over the operands streamed by the access engine.
+    Pool,
+    /// Non-linear activation applied to one source operand.
+    Act,
+    /// Repeat the next fetched µop; the iteration count comes from the per-PE
+    /// repeat register loaded via `mimd.ld`.
+    Repeat,
+    /// No operation (used to pad schedules; not part of the paper's list but
+    /// required to express idle PV slots in MIMD-SIMD mode).
+    Nop,
+}
+
+impl ExecUop {
+    /// Compact opcode used by the global/local µop encodings (4 bits).
+    pub fn opcode(self) -> u8 {
+        match self {
+            ExecUop::Nop => 0,
+            ExecUop::Add => 1,
+            ExecUop::Mul => 2,
+            ExecUop::Mac => 3,
+            ExecUop::Pool => 4,
+            ExecUop::Act => 5,
+            ExecUop::Repeat => 6,
+        }
+    }
+
+    /// Inverse of [`ExecUop::opcode`].
+    pub fn from_opcode(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => ExecUop::Nop,
+            1 => ExecUop::Add,
+            2 => ExecUop::Mul,
+            3 => ExecUop::Mac,
+            4 => ExecUop::Pool,
+            5 => ExecUop::Act,
+            6 => ExecUop::Repeat,
+            _ => return None,
+        })
+    }
+
+    /// Number of source addresses the access µ-engine must supply per
+    /// invocation of this µop.
+    pub fn source_operands(self) -> usize {
+        match self {
+            ExecUop::Add | ExecUop::Mul | ExecUop::Mac => 2,
+            ExecUop::Pool | ExecUop::Act => 1,
+            ExecUop::Repeat | ExecUop::Nop => 0,
+        }
+    }
+
+    /// Whether the µop writes a destination operand.
+    pub fn writes_destination(self) -> bool {
+        !matches!(self, ExecUop::Repeat | ExecUop::Nop)
+    }
+
+    /// All µops of the execute group (useful for exhaustive tests).
+    pub const ALL: [ExecUop; 7] = [
+        ExecUop::Nop,
+        ExecUop::Add,
+        ExecUop::Mul,
+        ExecUop::Mac,
+        ExecUop::Pool,
+        ExecUop::Act,
+        ExecUop::Repeat,
+    ];
+}
+
+impl fmt::Display for ExecUop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ExecUop::Add => "add",
+            ExecUop::Mul => "mul",
+            ExecUop::Mac => "mac",
+            ExecUop::Pool => "pool",
+            ExecUop::Act => "act",
+            ExecUop::Repeat => "repeat",
+            ExecUop::Nop => "nop",
+        };
+        f.write_str(name)
+    }
+}
+
+/// MIMD-group µops, stored in the global µop buffer (Section IV.C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MimdUop {
+    /// `mimd.ld %pv, %dst, imm` — load an immediate into a microarchitectural
+    /// register of every PE within a PV (chiefly the repeat register).
+    Ld {
+        /// Target processing vector.
+        pv: u8,
+        /// Destination register.
+        dst: MicroRegister,
+        /// Immediate value.
+        imm: u16,
+    },
+    /// `mimd.exe %idx0, …, %idxN` — each PV fetches the µop at its own index
+    /// from its local µop buffer and executes it across its PEs.
+    Exe {
+        /// One local-buffer index per processing vector.
+        indices: Vec<u8>,
+    },
+}
+
+/// A decoded entry of the global µop buffer: either a SIMD broadcast of a
+/// single execute µop to every PE, or a MIMD-SIMD dispatch of per-PV
+/// local-buffer indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalUop {
+    /// SIMD mode: the local buffers are bypassed and every PE executes the
+    /// same µop on distinct data.
+    Simd(ExecUop),
+    /// MIMD-SIMD mode: the i-th PV executes the µop at `indices[i]` of its
+    /// local µop buffer.
+    MimdExe(Vec<u8>),
+}
+
+impl GlobalUop {
+    /// Whether the entry executes in SIMD mode.
+    pub fn is_simd(&self) -> bool {
+        matches!(self, GlobalUop::Simd(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_round_trip() {
+        for uop in ExecUop::ALL {
+            assert_eq!(ExecUop::from_opcode(uop.opcode()), Some(uop));
+        }
+        assert_eq!(ExecUop::from_opcode(0xF), None);
+    }
+
+    #[test]
+    fn operand_counts_match_paper_description() {
+        // "add consumes two addresses for the source operands and one address
+        //  for the destination operand, but act uses one address for the source
+        //  operand and one address for the destination operand."
+        assert_eq!(ExecUop::Add.source_operands(), 2);
+        assert!(ExecUop::Add.writes_destination());
+        assert_eq!(ExecUop::Act.source_operands(), 1);
+        assert!(ExecUop::Act.writes_destination());
+        assert_eq!(ExecUop::Repeat.source_operands(), 0);
+        assert!(!ExecUop::Repeat.writes_destination());
+    }
+
+    #[test]
+    fn addr_gen_indices_are_dense() {
+        let mut seen = [false; 3];
+        for kind in AddrGenKind::ALL {
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn access_uop_reports_pv() {
+        let cfg = AccessUop::Cfg {
+            pv: 3,
+            gen: AddrGenKind::Weight,
+            reg: AccessReg::Step,
+            imm: 7,
+        };
+        assert_eq!(cfg.pv(), 3);
+        assert_eq!(AccessUop::Start { pv: 9, gen: AddrGenKind::Input }.pv(), 9);
+        assert_eq!(AccessUop::Stop { pv: 15, gen: AddrGenKind::Output }.pv(), 15);
+    }
+
+    #[test]
+    fn display_names_are_lowercase_mnemonics() {
+        assert_eq!(ExecUop::Mac.to_string(), "mac");
+        assert_eq!(ExecUop::Repeat.to_string(), "repeat");
+    }
+
+    #[test]
+    fn global_uop_mode_flag() {
+        assert!(GlobalUop::Simd(ExecUop::Mac).is_simd());
+        assert!(!GlobalUop::MimdExe(vec![0; 16]).is_simd());
+    }
+}

@@ -1,0 +1,93 @@
+//! A GAN: a generative model paired with a discriminative model.
+
+use crate::network::Network;
+
+/// A generative adversarial network as evaluated in the paper: a generator
+/// (dominated by transposed convolutions) and a discriminator (dominated by
+/// conventional convolutions), plus the Table I metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanModel {
+    /// Model name as it appears in Table I (e.g. `"DCGAN"`).
+    pub name: String,
+    /// Publication year from Table I.
+    pub year: u16,
+    /// One-line description from Table I.
+    pub description: String,
+    /// The generative model.
+    pub generator: Network,
+    /// The discriminative model.
+    pub discriminator: Network,
+}
+
+impl GanModel {
+    /// Creates a GAN model from its two networks and Table I metadata.
+    pub fn new(
+        name: impl Into<String>,
+        year: u16,
+        description: impl Into<String>,
+        generator: Network,
+        discriminator: Network,
+    ) -> Self {
+        GanModel {
+            name: name.into(),
+            year,
+            description: description.into(),
+            generator,
+            discriminator,
+        }
+    }
+
+    /// Layer counts in Table I order:
+    /// (generator conv, generator tconv, discriminator conv, discriminator tconv).
+    pub fn table_one_row(&self) -> (usize, usize, usize, usize) {
+        (
+            self.generator.conv_layer_count(),
+            self.generator.tconv_layer_count(),
+            self.discriminator.conv_layer_count(),
+            self.discriminator.tconv_layer_count(),
+        )
+    }
+
+    /// Total dense MACs across generator and discriminator.
+    pub fn total_dense_macs(&self) -> u64 {
+        self.generator.op_stats().total_dense_macs()
+            + self.discriminator.op_stats().total_dense_macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use crate::network::NetworkBuilder;
+    use ganax_tensor::{ConvParams, Shape};
+
+    fn toy_gan() -> GanModel {
+        let generator = NetworkBuilder::new("toy-gen", Shape::new_2d(16, 1, 1))
+            .projection("project", Shape::new_2d(32, 4, 4), Activation::Relu)
+            .tconv("up", 3, ConvParams::transposed_2d(4, 2, 1), Activation::Tanh)
+            .build()
+            .unwrap();
+        let discriminator = NetworkBuilder::new("toy-disc", Shape::new_2d(3, 8, 8))
+            .conv("down", 32, ConvParams::conv_2d(4, 2, 1), Activation::LeakyRelu)
+            .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+            .build()
+            .unwrap();
+        GanModel::new("ToyGAN", 2024, "test model", generator, discriminator)
+    }
+
+    #[test]
+    fn table_one_row_counts_layers() {
+        let gan = toy_gan();
+        assert_eq!(gan.table_one_row(), (0, 1, 2, 0));
+    }
+
+    #[test]
+    fn total_macs_sum_both_networks() {
+        let gan = toy_gan();
+        let gen = gan.generator.op_stats().total_dense_macs();
+        let disc = gan.discriminator.op_stats().total_dense_macs();
+        assert_eq!(gan.total_dense_macs(), gen + disc);
+        assert!(gen > 0 && disc > 0);
+    }
+}

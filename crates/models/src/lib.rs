@@ -1,0 +1,45 @@
+//! GAN workload models for the GANAX reproduction.
+//!
+//! The GANAX paper evaluates six generative adversarial networks (Table I):
+//! 3D-GAN, ArtGAN, DCGAN, DiscoGAN, GP-GAN and MAGAN. This crate describes each
+//! of them as a sequence of layers — projections, conventional convolutions and
+//! transposed convolutions — together with the operation-counting machinery that
+//! drives Figure 1 (the fraction of inconsequential multiply-adds) and the
+//! workload definitions consumed by the accelerator models.
+//!
+//! The exact hyper-parameters of the six networks are not listed in the GANAX
+//! paper; they are re-derived here from the publicly described architectures of
+//! the original GAN papers, with layer counts constrained to match Table I.
+//! Where an original architecture admits multiple variants, the variant whose
+//! zero-insertion profile matches the qualitative description in the GANAX text
+//! (e.g. 3D-GAN ≈ 80 % inserted zeros, MAGAN the lowest) is chosen; each zoo
+//! module documents its choices.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax_models::zoo;
+//!
+//! let dcgan = zoo::dcgan();
+//! assert_eq!(dcgan.generator.tconv_layer_count(), 4);
+//! assert_eq!(dcgan.discriminator.conv_layer_count(), 5);
+//!
+//! let stats = dcgan.generator.op_stats();
+//! // Roughly three quarters of the transposed-convolution multiply-adds hit
+//! // inserted zeros for a stride-2 DCGAN generator.
+//! assert!(stats.tconv_inconsequential_fraction() > 0.70);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gan;
+mod layer;
+mod network;
+mod stats;
+pub mod zoo;
+
+pub use gan::GanModel;
+pub use layer::{Activation, Layer, LayerOp};
+pub use network::{Network, NetworkBuilder, NetworkError};
+pub use stats::{LayerOpCounts, NetworkOpStats};

@@ -1,0 +1,336 @@
+//! Networks: validated sequences of layers.
+
+use std::fmt;
+
+use ganax_tensor::{ConvParams, Shape};
+
+use crate::layer::{Activation, Layer};
+use crate::stats::NetworkOpStats;
+
+/// Errors produced while assembling a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A layer's input shape does not match the previous layer's output shape.
+    ShapeChainBroken {
+        /// Name of the offending layer.
+        layer: String,
+        /// Output shape of the previous layer.
+        expected: Shape,
+        /// Input shape declared by the offending layer.
+        actual: Shape,
+    },
+    /// A layer's convolution geometry is invalid.
+    InvalidGeometry {
+        /// Name of the offending layer.
+        layer: String,
+        /// Underlying tensor error description.
+        detail: String,
+    },
+    /// Two layers share the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The network has no layers.
+    Empty,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::ShapeChainBroken {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer `{layer}` expects input {actual} but the previous layer produces {expected}"
+            ),
+            NetworkError::InvalidGeometry { layer, detail } => {
+                write!(f, "layer `{layer}` has invalid geometry: {detail}")
+            }
+            NetworkError::DuplicateName { name } => {
+                write!(f, "duplicate layer name `{name}`")
+            }
+            NetworkError::Empty => write!(f, "network has no layers"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated feed-forward sequence of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Builds a network from pre-constructed layers, validating that shapes
+    /// chain and names are unique.
+    ///
+    /// # Errors
+    /// Returns a [`NetworkError`] describing the first violated invariant.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Result<Self, NetworkError> {
+        if layers.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let mut names = std::collections::HashSet::new();
+        for layer in &layers {
+            if !names.insert(layer.name.clone()) {
+                return Err(NetworkError::DuplicateName {
+                    name: layer.name.clone(),
+                });
+            }
+        }
+        for pair in layers.windows(2) {
+            if pair[1].input != pair[0].output {
+                return Err(NetworkError::ShapeChainBroken {
+                    layer: pair[1].name.clone(),
+                    expected: pair[0].output,
+                    actual: pair[1].input,
+                });
+            }
+        }
+        Ok(Network {
+            name: name.into(),
+            layers,
+        })
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Shape of the network's input.
+    pub fn input_shape(&self) -> Shape {
+        self.layers[0].input
+    }
+
+    /// Shape of the network's output.
+    pub fn output_shape(&self) -> Shape {
+        self.layers[self.layers.len() - 1].output
+    }
+
+    /// Number of conventional convolution layers.
+    pub fn conv_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_conv()).count()
+    }
+
+    /// Number of transposed convolution layers.
+    pub fn tconv_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_tconv()).count()
+    }
+
+    /// Total weight parameters across all layers.
+    pub fn weight_count(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Aggregated operation statistics (drives Figure 1).
+    pub fn op_stats(&self) -> NetworkOpStats {
+        NetworkOpStats::from_layers(&self.layers)
+    }
+}
+
+/// Incremental builder that chains layer shapes automatically.
+///
+/// # Example
+/// ```
+/// use ganax_models::{Activation, NetworkBuilder};
+/// use ganax_tensor::{ConvParams, Shape};
+///
+/// let net = NetworkBuilder::new("toy-generator", Shape::new_2d(100, 1, 1))
+///     .projection("project", Shape::new_2d(256, 4, 4), Activation::Relu)
+///     .tconv("up1", 128, ConvParams::transposed_2d(4, 2, 1), Activation::Relu)
+///     .tconv("up2", 3, ConvParams::transposed_2d(4, 2, 1), Activation::Tanh)
+///     .build()
+///     .unwrap();
+/// assert_eq!(net.tconv_layer_count(), 2);
+/// assert_eq!(net.output_shape(), Shape::new_2d(3, 16, 16));
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    current: Shape,
+    layers: Vec<Layer>,
+    error: Option<NetworkError>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network whose input has the given shape.
+    pub fn new(name: impl Into<String>, input: Shape) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            current: input,
+            layers: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn push_conv(
+        mut self,
+        name: &str,
+        out_channels: usize,
+        params: ConvParams,
+        activation: Activation,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match Layer::conv(name, self.current, out_channels, params, activation) {
+            Ok(layer) => {
+                self.current = layer.output;
+                self.layers.push(layer);
+            }
+            Err(err) => {
+                self.error = Some(NetworkError::InvalidGeometry {
+                    layer: name.to_string(),
+                    detail: err.to_string(),
+                });
+            }
+        }
+        self
+    }
+
+    /// Appends a conventional convolution layer.
+    pub fn conv(
+        self,
+        name: &str,
+        out_channels: usize,
+        params: ConvParams,
+        activation: Activation,
+    ) -> Self {
+        debug_assert!(!params.is_transposed(), "use `tconv` for transposed layers");
+        self.push_conv(name, out_channels, params, activation)
+    }
+
+    /// Appends a transposed convolution layer.
+    pub fn tconv(
+        self,
+        name: &str,
+        out_channels: usize,
+        params: ConvParams,
+        activation: Activation,
+    ) -> Self {
+        debug_assert!(params.is_transposed(), "use `conv` for conventional layers");
+        self.push_conv(name, out_channels, params, activation)
+    }
+
+    /// Appends a fully-connected projection to an explicit output shape.
+    pub fn projection(mut self, name: &str, output: Shape, activation: Activation) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let layer = Layer::projection(name, self.current, output, activation);
+        self.current = output;
+        self.layers.push(layer);
+        self
+    }
+
+    /// Finalises the network.
+    ///
+    /// # Errors
+    /// Returns the first construction error encountered while building.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        Network::new(self.name, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_layer(name: &str, input: Shape, out_channels: usize) -> Layer {
+        Layer::conv(
+            name,
+            input,
+            out_channels,
+            ConvParams::conv_2d(3, 1, 1),
+            Activation::Relu,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn network_validates_shape_chain() {
+        let l1 = toy_layer("a", Shape::new_2d(3, 8, 8), 8);
+        let l2 = toy_layer("b", Shape::new_2d(8, 8, 8), 16);
+        assert!(Network::new("ok", vec![l1.clone(), l2]).is_ok());
+
+        let bad = toy_layer("b", Shape::new_2d(4, 8, 8), 16);
+        let err = Network::new("bad", vec![l1, bad]).unwrap_err();
+        assert!(matches!(err, NetworkError::ShapeChainBroken { .. }));
+    }
+
+    #[test]
+    fn network_rejects_duplicate_names() {
+        let l1 = toy_layer("same", Shape::new_2d(3, 8, 8), 3);
+        let l2 = toy_layer("same", Shape::new_2d(3, 8, 8), 3);
+        let err = Network::new("dup", vec![l1, l2]).unwrap_err();
+        assert!(matches!(err, NetworkError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn network_rejects_empty() {
+        assert_eq!(Network::new("none", vec![]).unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn builder_chains_shapes() {
+        let net = NetworkBuilder::new("gen", Shape::new_2d(100, 1, 1))
+            .projection("project", Shape::new_2d(64, 4, 4), Activation::Relu)
+            .tconv("up1", 32, ConvParams::transposed_2d(4, 2, 1), Activation::Relu)
+            .conv("smooth", 16, ConvParams::conv_2d(3, 1, 1), Activation::Relu)
+            .build()
+            .unwrap();
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.output_shape(), Shape::new_2d(16, 8, 8));
+        assert_eq!(net.conv_layer_count(), 1);
+        assert_eq!(net.tconv_layer_count(), 1);
+        assert_eq!(net.input_shape(), Shape::new_2d(100, 1, 1));
+    }
+
+    #[test]
+    fn builder_propagates_geometry_error() {
+        let result = NetworkBuilder::new("broken", Shape::new_2d(3, 2, 2))
+            .conv("too-big", 8, ConvParams::conv_2d(7, 1, 0), Activation::Relu)
+            .build();
+        assert!(matches!(
+            result,
+            Err(NetworkError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_count_sums_layers() {
+        let net = NetworkBuilder::new("gen", Shape::new_2d(8, 4, 4))
+            .conv("c1", 4, ConvParams::conv_2d(3, 1, 1), Activation::Relu)
+            .conv("c2", 2, ConvParams::conv_2d(3, 1, 1), Activation::None)
+            .build()
+            .unwrap();
+        assert_eq!(net.weight_count(), (4 * 8 * 9 + 2 * 4 * 9) as u64);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = NetworkError::ShapeChainBroken {
+            layer: "up2".into(),
+            expected: Shape::new_2d(8, 8, 8),
+            actual: Shape::new_2d(4, 8, 8),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("up2"));
+        assert!(msg.contains("8x8x8"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Operation counting for networks (drives Figure 1 of the paper).
+
+use crate::layer::Layer;
+
+/// Per-layer multiply-accumulate counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerOpCounts {
+    /// Layer name.
+    pub name: String,
+    /// Whether the layer is a transposed convolution.
+    pub is_tconv: bool,
+    /// Dense MACs (over the zero-inserted input for transposed convolutions).
+    pub dense_macs: u64,
+    /// Consequential MACs (operands drawn from original data).
+    pub consequential_macs: u64,
+}
+
+impl LayerOpCounts {
+    /// MACs wasted on inserted zeros or padding.
+    pub fn inconsequential_macs(&self) -> u64 {
+        self.dense_macs - self.consequential_macs
+    }
+}
+
+/// Aggregated operation statistics for a network.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkOpStats {
+    /// Per-layer counts in execution order.
+    pub layers: Vec<LayerOpCounts>,
+}
+
+impl NetworkOpStats {
+    /// Computes statistics from a slice of layers.
+    pub fn from_layers(layers: &[Layer]) -> Self {
+        NetworkOpStats {
+            layers: layers
+                .iter()
+                .map(|l| LayerOpCounts {
+                    name: l.name.clone(),
+                    is_tconv: l.is_tconv(),
+                    dense_macs: l.dense_macs(),
+                    consequential_macs: l.consequential_macs(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total dense MACs over every layer.
+    pub fn total_dense_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.dense_macs).sum()
+    }
+
+    /// Total consequential MACs over every layer.
+    pub fn total_consequential_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.consequential_macs).sum()
+    }
+
+    /// Dense MACs restricted to transposed-convolution layers.
+    pub fn tconv_dense_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.is_tconv)
+            .map(|l| l.dense_macs)
+            .sum()
+    }
+
+    /// Consequential MACs restricted to transposed-convolution layers.
+    pub fn tconv_consequential_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.is_tconv)
+            .map(|l| l.consequential_macs)
+            .sum()
+    }
+
+    /// Figure 1 of the paper: the fraction of multiply-adds in transposed
+    /// convolution layers that are inconsequential due to inserted zeros.
+    /// Returns zero for networks without transposed convolutions.
+    pub fn tconv_inconsequential_fraction(&self) -> f64 {
+        let dense = self.tconv_dense_macs();
+        if dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.tconv_consequential_macs() as f64 / dense as f64
+    }
+
+    /// Fraction of all dense MACs (any layer type) that are inconsequential.
+    pub fn overall_inconsequential_fraction(&self) -> f64 {
+        let dense = self.total_dense_macs();
+        if dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_consequential_macs() as f64 / dense as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use ganax_tensor::{ConvParams, Shape};
+
+    fn stats_for_toy_network() -> NetworkOpStats {
+        let conv = Layer::conv(
+            "conv",
+            Shape::new_2d(8, 8, 8),
+            8,
+            ConvParams::conv_2d(3, 1, 1),
+            Activation::Relu,
+        )
+        .unwrap();
+        let tconv = Layer::conv(
+            "tconv",
+            Shape::new_2d(8, 8, 8),
+            8,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::Relu,
+        )
+        .unwrap();
+        NetworkOpStats::from_layers(&[conv, tconv])
+    }
+
+    #[test]
+    fn totals_sum_layer_counts() {
+        let stats = stats_for_toy_network();
+        assert_eq!(stats.layers.len(), 2);
+        assert_eq!(
+            stats.total_dense_macs(),
+            stats.layers.iter().map(|l| l.dense_macs).sum::<u64>()
+        );
+        assert!(stats.total_dense_macs() > stats.total_consequential_macs());
+    }
+
+    #[test]
+    fn tconv_fraction_only_counts_tconv_layers() {
+        let stats = stats_for_toy_network();
+        let conv_only = NetworkOpStats {
+            layers: vec![stats.layers[0].clone()],
+        };
+        assert_eq!(conv_only.tconv_inconsequential_fraction(), 0.0);
+        let frac = stats.tconv_inconsequential_fraction();
+        assert!(frac > 0.5 && frac < 0.9, "fraction = {frac}");
+    }
+
+    #[test]
+    fn inconsequential_macs_is_difference() {
+        let stats = stats_for_toy_network();
+        for layer in &stats.layers {
+            assert_eq!(
+                layer.inconsequential_macs(),
+                layer.dense_macs - layer.consequential_macs
+            );
+        }
+    }
+
+    #[test]
+    fn overall_fraction_between_zero_and_tconv_fraction() {
+        let stats = stats_for_toy_network();
+        let overall = stats.overall_inconsequential_fraction();
+        let tconv = stats.tconv_inconsequential_fraction();
+        assert!(overall > 0.0);
+        assert!(overall <= tconv);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = NetworkOpStats::default();
+        assert_eq!(stats.total_dense_macs(), 0);
+        assert_eq!(stats.tconv_inconsequential_fraction(), 0.0);
+        assert_eq!(stats.overall_inconsequential_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! ArtGAN — conditional artwork synthesis (Tan et al., 2017).
+//!
+//! ArtGAN conditions the generator on a class label (the latent input below is
+//! the concatenation of a 100-d noise vector and a 10-d label embedding). Its
+//! generator uses four stride-2 upsampling transposed convolutions followed by
+//! a stride-1 transposed convolution that refines the full-resolution image —
+//! five transposed-convolution layers total, matching Table I. The
+//! discriminator doubles as a classifier and carries six convolution layers.
+
+use ganax_tensor::{ConvParams, Shape};
+
+use crate::gan::GanModel;
+use crate::layer::Activation;
+use crate::network::NetworkBuilder;
+
+fn up5() -> ConvParams {
+    ConvParams::transposed_2d(5, 2, 2).with_output_padding(0, 1, 1)
+}
+
+fn down5() -> ConvParams {
+    ConvParams::conv_2d(5, 2, 2)
+}
+
+/// Builds the ArtGAN workload.
+pub fn art_gan() -> GanModel {
+    let generator = NetworkBuilder::new("ArtGAN-generator", Shape::new_2d(110, 1, 1))
+        .projection("project", Shape::new_2d(1024, 4, 4), Activation::Relu)
+        .tconv("tconv1", 512, up5(), Activation::Relu)
+        .tconv("tconv2", 256, up5(), Activation::Relu)
+        .tconv("tconv3", 128, up5(), Activation::Relu)
+        .tconv("tconv4", 64, up5(), Activation::Relu)
+        .tconv("refine", 3, ConvParams::transposed_2d(5, 1, 2), Activation::Tanh)
+        .build()
+        .expect("ArtGAN generator geometry is valid");
+
+    let discriminator = NetworkBuilder::new("ArtGAN-discriminator", Shape::new_2d(3, 64, 64))
+        .conv("conv1", 64, down5(), Activation::LeakyRelu)
+        .conv("conv2", 128, down5(), Activation::LeakyRelu)
+        .conv("conv3", 256, down5(), Activation::LeakyRelu)
+        .conv("conv4", 512, down5(), Activation::LeakyRelu)
+        .conv("conv5", 512, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
+        .conv("classify", 11, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .build()
+        .expect("ArtGAN discriminator geometry is valid");
+
+    GanModel::new(
+        "ArtGAN",
+        2017,
+        "Complex artworks generation",
+        generator,
+        discriminator,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_table_one() {
+        assert_eq!(art_gan().table_one_row(), (0, 5, 6, 0));
+    }
+
+    #[test]
+    fn generator_produces_64x64_rgb() {
+        assert_eq!(art_gan().generator.output_shape(), Shape::new_2d(3, 64, 64));
+    }
+
+    #[test]
+    fn stride_one_refinement_lowers_zero_fraction_below_dcgan() {
+        let artgan_frac = art_gan()
+            .generator
+            .op_stats()
+            .tconv_inconsequential_fraction();
+        let dcgan_frac = super::super::dcgan()
+            .generator
+            .op_stats()
+            .tconv_inconsequential_fraction();
+        assert!(artgan_frac < dcgan_frac);
+        assert!(artgan_frac > 0.55, "fraction = {artgan_frac}");
+    }
+
+    #[test]
+    fn discriminator_outputs_class_scores() {
+        let out = art_gan().discriminator.output_shape();
+        assert_eq!((out.channels, out.height, out.width), (11, 1, 1));
+    }
+}

@@ -1,0 +1,84 @@
+//! DCGAN — unsupervised representation learning (Radford et al., 2015).
+//!
+//! The canonical DCGAN generator projects a 100-dimensional latent vector to a
+//! 4×4×1024 feature map and upsamples it through four stride-2, 5×5 transposed
+//! convolutions to a 64×64×3 image. The discriminator mirrors it with four
+//! stride-2, 5×5 convolutions followed by a final scoring convolution
+//! (five convolution layers total, matching Table I).
+
+use ganax_tensor::{ConvParams, Shape};
+
+use crate::gan::GanModel;
+use crate::layer::Activation;
+use crate::network::NetworkBuilder;
+
+/// 5×5 transposed convolution that exactly doubles the spatial extent.
+fn up5() -> ConvParams {
+    ConvParams::transposed_2d(5, 2, 2).with_output_padding(0, 1, 1)
+}
+
+/// 5×5 convolution that halves the spatial extent.
+fn down5() -> ConvParams {
+    ConvParams::conv_2d(5, 2, 2)
+}
+
+/// Builds the DCGAN workload.
+pub fn dcgan() -> GanModel {
+    let generator = NetworkBuilder::new("DCGAN-generator", Shape::new_2d(100, 1, 1))
+        .projection("project", Shape::new_2d(1024, 4, 4), Activation::Relu)
+        .tconv("tconv1", 512, up5(), Activation::Relu)
+        .tconv("tconv2", 256, up5(), Activation::Relu)
+        .tconv("tconv3", 128, up5(), Activation::Relu)
+        .tconv("tconv4", 3, up5(), Activation::Tanh)
+        .build()
+        .expect("DCGAN generator geometry is valid");
+
+    let discriminator = NetworkBuilder::new("DCGAN-discriminator", Shape::new_2d(3, 64, 64))
+        .conv("conv1", 64, down5(), Activation::LeakyRelu)
+        .conv("conv2", 128, down5(), Activation::LeakyRelu)
+        .conv("conv3", 256, down5(), Activation::LeakyRelu)
+        .conv("conv4", 512, down5(), Activation::LeakyRelu)
+        .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .build()
+        .expect("DCGAN discriminator geometry is valid");
+
+    GanModel::new(
+        "DCGAN",
+        2015,
+        "Unsupervised representation learning",
+        generator,
+        discriminator,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_produces_64x64_rgb() {
+        let model = dcgan();
+        assert_eq!(model.generator.output_shape(), Shape::new_2d(3, 64, 64));
+    }
+
+    #[test]
+    fn discriminator_reduces_to_single_score() {
+        let model = dcgan();
+        let out = model.discriminator.output_shape();
+        assert_eq!((out.channels, out.height, out.width), (1, 1, 1));
+    }
+
+    #[test]
+    fn generator_zero_fraction_near_three_quarters() {
+        let frac = dcgan()
+            .generator
+            .op_stats()
+            .tconv_inconsequential_fraction();
+        assert!(frac > 0.70 && frac < 0.80, "fraction = {frac}");
+    }
+
+    #[test]
+    fn layer_counts_match_table_one() {
+        assert_eq!(dcgan().table_one_row(), (0, 4, 5, 0));
+    }
+}

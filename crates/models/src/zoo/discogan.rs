@@ -1,0 +1,90 @@
+//! DiscoGAN — cross-domain style transfer (Kim et al., 2017).
+//!
+//! DiscoGAN's generator is an image-to-image encoder/decoder: a five-layer
+//! convolutional encoder compresses the 64×64 source-domain image and a
+//! four-layer transposed-convolution decoder synthesises the target-domain
+//! image, matching the 5 Conv + 4 TConv generator row of Table I. Because only
+//! part of the generator consists of transposed convolutions, its end-to-end
+//! speedup in Figure 8 is lower than the purely transposed-convolutional
+//! generators even though its per-layer zero fraction is similar.
+
+use ganax_tensor::{ConvParams, Shape};
+
+use crate::gan::GanModel;
+use crate::layer::Activation;
+use crate::network::NetworkBuilder;
+
+fn up4() -> ConvParams {
+    ConvParams::transposed_2d(4, 2, 1)
+}
+
+fn down4() -> ConvParams {
+    ConvParams::conv_2d(4, 2, 1)
+}
+
+/// Builds the DiscoGAN workload.
+pub fn disco_gan() -> GanModel {
+    let generator = NetworkBuilder::new("DiscoGAN-generator", Shape::new_2d(3, 64, 64))
+        .conv("enc1", 64, down4(), Activation::LeakyRelu)
+        .conv("enc2", 128, down4(), Activation::LeakyRelu)
+        .conv("enc3", 256, down4(), Activation::LeakyRelu)
+        .conv("enc4", 512, down4(), Activation::LeakyRelu)
+        .conv("bottleneck", 512, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
+        .tconv("dec1", 256, up4(), Activation::Relu)
+        .tconv("dec2", 128, up4(), Activation::Relu)
+        .tconv("dec3", 64, up4(), Activation::Relu)
+        .tconv("dec4", 3, up4(), Activation::Tanh)
+        .build()
+        .expect("DiscoGAN generator geometry is valid");
+
+    let discriminator = NetworkBuilder::new("DiscoGAN-discriminator", Shape::new_2d(3, 64, 64))
+        .conv("conv1", 64, down4(), Activation::LeakyRelu)
+        .conv("conv2", 128, down4(), Activation::LeakyRelu)
+        .conv("conv3", 256, down4(), Activation::LeakyRelu)
+        .conv("conv4", 512, down4(), Activation::LeakyRelu)
+        .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .build()
+        .expect("DiscoGAN discriminator geometry is valid");
+
+    GanModel::new(
+        "DiscoGAN",
+        2017,
+        "Style transfer from one domain to another",
+        generator,
+        discriminator,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_table_one() {
+        assert_eq!(disco_gan().table_one_row(), (5, 4, 5, 0));
+    }
+
+    #[test]
+    fn generator_is_image_to_image() {
+        let gen = disco_gan().generator;
+        assert_eq!(gen.input_shape(), Shape::new_2d(3, 64, 64));
+        assert_eq!(gen.output_shape(), Shape::new_2d(3, 64, 64));
+    }
+
+    #[test]
+    fn encoder_work_is_a_meaningful_share_of_the_generator() {
+        let stats = disco_gan().generator.op_stats();
+        let conv_macs = stats.total_dense_macs() - stats.tconv_dense_macs();
+        let share = conv_macs as f64 / stats.total_dense_macs() as f64;
+        assert!(share > 0.15 && share < 0.60, "encoder share = {share}");
+    }
+
+    #[test]
+    fn tconv_layers_have_stride2_zero_profile() {
+        let frac = disco_gan()
+            .generator
+            .op_stats()
+            .tconv_inconsequential_fraction();
+        assert!(frac > 0.65 && frac < 0.80, "fraction = {frac}");
+    }
+}

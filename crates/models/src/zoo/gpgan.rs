@@ -1,0 +1,76 @@
+//! GP-GAN — high-resolution image blending (Wu et al., 2017).
+//!
+//! GP-GAN's Blending GAN is an encoder/decoder, but its decoder is the
+//! dominant component; Table I lists only the four transposed-convolution
+//! layers for the generative model. The reproduction models the generator as a
+//! latent projection followed by four stride-2 4×4 transposed convolutions up
+//! to a 64×64 RGB image with wide channel counts (GP-GAN operates on wider
+//! feature maps than DCGAN, which is what makes it one of the more
+//! energy-hungry workloads in Figure 8b).
+
+use ganax_tensor::{ConvParams, Shape};
+
+use crate::gan::GanModel;
+use crate::layer::Activation;
+use crate::network::NetworkBuilder;
+
+fn up4() -> ConvParams {
+    ConvParams::transposed_2d(4, 2, 1)
+}
+
+fn down4() -> ConvParams {
+    ConvParams::conv_2d(4, 2, 1)
+}
+
+/// Builds the GP-GAN workload.
+pub fn gp_gan() -> GanModel {
+    let generator = NetworkBuilder::new("GP-GAN-generator", Shape::new_2d(100, 1, 1))
+        .projection("project", Shape::new_2d(1024, 4, 4), Activation::Relu)
+        .tconv("tconv1", 512, up4(), Activation::Relu)
+        .tconv("tconv2", 256, up4(), Activation::Relu)
+        .tconv("tconv3", 128, up4(), Activation::Relu)
+        .tconv("tconv4", 3, up4(), Activation::Tanh)
+        .build()
+        .expect("GP-GAN generator geometry is valid");
+
+    let discriminator = NetworkBuilder::new("GP-GAN-discriminator", Shape::new_2d(3, 64, 64))
+        .conv("conv1", 64, down4(), Activation::LeakyRelu)
+        .conv("conv2", 128, down4(), Activation::LeakyRelu)
+        .conv("conv3", 256, down4(), Activation::LeakyRelu)
+        .conv("conv4", 512, down4(), Activation::LeakyRelu)
+        .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .build()
+        .expect("GP-GAN discriminator geometry is valid");
+
+    GanModel::new(
+        "GP-GAN",
+        2017,
+        "High-resolution image generation",
+        generator,
+        discriminator,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_table_one() {
+        assert_eq!(gp_gan().table_one_row(), (0, 4, 5, 0));
+    }
+
+    #[test]
+    fn generator_produces_64x64_rgb() {
+        assert_eq!(gp_gan().generator.output_shape(), Shape::new_2d(3, 64, 64));
+    }
+
+    #[test]
+    fn zero_fraction_similar_to_dcgan() {
+        let frac = gp_gan()
+            .generator
+            .op_stats()
+            .tconv_inconsequential_fraction();
+        assert!(frac > 0.65 && frac < 0.80, "fraction = {frac}");
+    }
+}

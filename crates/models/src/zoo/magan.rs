@@ -1,0 +1,98 @@
+//! MAGAN — margin adaptation for stable GAN training (Wang et al., 2017).
+//!
+//! MAGAN pairs a generator with an auto-encoder discriminator (hence the six
+//! convolution *and* six transposed-convolution layers in the discriminative
+//! column of Table I). Its generator performs most of its work in stride-1
+//! transposed-convolution refinement layers at the output resolution and only
+//! one stride-2 upsampling step, which is why the GANAX paper reports it as the
+//! model with the *lowest* fraction of inserted zeros (Figure 1) and the lowest
+//! speedup (≈1.3× in Figure 8a). The hyper-parameters below are chosen to match
+//! that qualitative profile while keeping the Table I layer counts exact.
+
+use ganax_tensor::{ConvParams, Shape};
+
+use crate::gan::GanModel;
+use crate::layer::Activation;
+use crate::network::NetworkBuilder;
+
+fn up4() -> ConvParams {
+    ConvParams::transposed_2d(4, 2, 1)
+}
+
+fn refine3() -> ConvParams {
+    ConvParams::transposed_2d(3, 1, 1)
+}
+
+fn down4() -> ConvParams {
+    ConvParams::conv_2d(4, 2, 1)
+}
+
+/// Builds the MAGAN workload.
+pub fn magan() -> GanModel {
+    let generator = NetworkBuilder::new("MAGAN-generator", Shape::new_2d(100, 1, 1))
+        .projection("project", Shape::new_2d(128, 16, 16), Activation::Relu)
+        .tconv("up1", 128, up4(), Activation::Relu)
+        .tconv("refine1", 192, refine3(), Activation::Relu)
+        .tconv("refine2", 128, refine3(), Activation::Relu)
+        .tconv("refine3", 96, refine3(), Activation::Relu)
+        .tconv("refine4", 64, refine3(), Activation::Relu)
+        .tconv("to_rgb", 3, refine3(), Activation::Tanh)
+        .build()
+        .expect("MAGAN generator geometry is valid");
+
+    // Auto-encoder discriminator: six-layer convolutional encoder followed by a
+    // six-layer transposed-convolution decoder that reconstructs the input.
+    let discriminator = NetworkBuilder::new("MAGAN-discriminator", Shape::new_2d(3, 32, 32))
+        .conv("enc1", 32, down4(), Activation::LeakyRelu)
+        .conv("enc2", 64, down4(), Activation::LeakyRelu)
+        .conv("enc3", 128, down4(), Activation::LeakyRelu)
+        .conv("enc4", 256, down4(), Activation::LeakyRelu)
+        .conv("enc5", 256, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
+        .conv("enc6", 256, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
+        .tconv("dec1", 128, up4(), Activation::Relu)
+        .tconv("dec2", 64, up4(), Activation::Relu)
+        .tconv("dec3", 32, up4(), Activation::Relu)
+        .tconv("dec4", 16, up4(), Activation::Relu)
+        .tconv("dec5", 16, refine3(), Activation::Relu)
+        .tconv("reconstruct", 3, refine3(), Activation::Tanh)
+        .build()
+        .expect("MAGAN discriminator geometry is valid");
+
+    GanModel::new(
+        "MAGAN",
+        2017,
+        "Stable training procedure for GANs",
+        generator,
+        discriminator,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_table_one() {
+        assert_eq!(magan().table_one_row(), (0, 6, 6, 6));
+    }
+
+    #[test]
+    fn generator_produces_32x32_rgb() {
+        assert_eq!(magan().generator.output_shape(), Shape::new_2d(3, 32, 32));
+    }
+
+    #[test]
+    fn zero_fraction_is_the_lowest_of_the_zoo() {
+        let frac = magan()
+            .generator
+            .op_stats()
+            .tconv_inconsequential_fraction();
+        assert!(frac > 0.10 && frac < 0.40, "fraction = {frac}");
+    }
+
+    #[test]
+    fn discriminator_decoder_reconstructs_the_input_resolution() {
+        let disc = magan().discriminator;
+        assert_eq!(disc.input_shape(), disc.output_shape());
+    }
+}

@@ -1,0 +1,235 @@
+//! Bounded FIFOs: the synchronization fabric between µ-engines.
+//!
+//! The paper: "The address FIFOs perform the synchronization between access
+//! µ-engine and execute µ-engine. [...] If any of the address FIFOs are full,
+//! the corresponding strided µindex generator stops generating new addresses.
+//! In the case that any of the address FIFOs are empty, no data is
+//! read/written."
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ganax_isa::ExecUop;
+
+/// Error returned when pushing into a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoError {
+    /// Capacity of the FIFO that rejected the push.
+    pub capacity: usize,
+}
+
+impl fmt::Display for FifoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for FifoError {}
+
+/// A bounded FIFO with push/pop counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bounded<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+impl<T> Bounded<T> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Bounded {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    fn push(&mut self, item: T) -> Result<(), FifoError> {
+        if self.items.len() >= self.capacity {
+            return Err(FifoError {
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+}
+
+/// A bounded FIFO of operand addresses between an index generator and the
+/// execute µ-engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrFifo {
+    inner: Bounded<u16>,
+}
+
+impl AddrFifo {
+    /// Creates an address FIFO with the given capacity (8 entries in the paper
+    /// configuration, see Table III "I/O FIFOs").
+    pub fn new(capacity: usize) -> Self {
+        AddrFifo {
+            inner: Bounded::new(capacity),
+        }
+    }
+
+    /// Pushes an address.
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] when the FIFO is full (the generator must stall).
+    pub fn push(&mut self, addr: u16) -> Result<(), FifoError> {
+        self.inner.push(addr)
+    }
+
+    /// Pops the oldest address, if any.
+    pub fn pop(&mut self) -> Option<u16> {
+        self.inner.pop()
+    }
+
+    /// Peeks at the oldest address without consuming it.
+    pub fn peek(&self) -> Option<u16> {
+        self.inner.peek().copied()
+    }
+
+    /// Number of queued addresses.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the FIFO holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.inner.is_full()
+    }
+
+    /// Total pushes served (for energy accounting).
+    pub fn pushes(&self) -> u64 {
+        self.inner.pushes
+    }
+
+    /// Total pops served (for energy accounting).
+    pub fn pops(&self) -> u64 {
+        self.inner.pops
+    }
+}
+
+/// A bounded FIFO of execute µops feeding the execute µ-engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UopFifo {
+    inner: Bounded<ExecUop>,
+}
+
+impl UopFifo {
+    /// Creates a µop FIFO with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        UopFifo {
+            inner: Bounded::new(capacity),
+        }
+    }
+
+    /// Pushes a µop.
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] when the FIFO is full.
+    pub fn push(&mut self, uop: ExecUop) -> Result<(), FifoError> {
+        self.inner.push(uop)
+    }
+
+    /// Pops the oldest µop, if any.
+    pub fn pop(&mut self) -> Option<ExecUop> {
+        self.inner.pop()
+    }
+
+    /// Peeks at the oldest µop without consuming it.
+    pub fn peek(&self) -> Option<ExecUop> {
+        self.inner.peek().copied()
+    }
+
+    /// Number of queued µops.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the FIFO holds no µops.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.inner.is_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_fifo_order_and_backpressure() {
+        let mut fifo = AddrFifo::new(2);
+        assert!(fifo.is_empty());
+        fifo.push(10).unwrap();
+        fifo.push(20).unwrap();
+        assert!(fifo.is_full());
+        assert_eq!(fifo.push(30), Err(FifoError { capacity: 2 }));
+        assert_eq!(fifo.peek(), Some(10));
+        assert_eq!(fifo.pop(), Some(10));
+        assert_eq!(fifo.pop(), Some(20));
+        assert_eq!(fifo.pop(), None);
+        assert_eq!(fifo.pushes(), 2);
+        assert_eq!(fifo.pops(), 2);
+    }
+
+    #[test]
+    fn uop_fifo_holds_uops_in_order() {
+        let mut fifo = UopFifo::new(4);
+        fifo.push(ExecUop::Repeat).unwrap();
+        fifo.push(ExecUop::Mac).unwrap();
+        assert_eq!(fifo.len(), 2);
+        assert_eq!(fifo.peek(), Some(ExecUop::Repeat));
+        assert_eq!(fifo.pop(), Some(ExecUop::Repeat));
+        assert_eq!(fifo.pop(), Some(ExecUop::Mac));
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = AddrFifo::new(0);
+    }
+
+    #[test]
+    fn fifo_error_displays_capacity() {
+        assert!(FifoError { capacity: 8 }.to_string().contains('8'));
+    }
+}

@@ -1,0 +1,436 @@
+//! A GANAX processing engine: decoupled access and execute µ-engines around
+//! three scratchpad buffers.
+
+use ganax_energy::EventCounts;
+use ganax_isa::{AccessUop, AddrGenKind, ExecUop};
+
+use crate::access::AccessEngine;
+use crate::execute::{ActivationKind, ExecuteEngine};
+use crate::fifo::UopFifo;
+use crate::index_gen::GeneratorConfig;
+use crate::scratchpad::Scratchpad;
+
+/// Sizing of one processing engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeConfig {
+    /// Words in the input scratchpad.
+    pub input_words: usize,
+    /// Words in the weight scratchpad.
+    pub weight_words: usize,
+    /// Words in the output (partial-sum) scratchpad.
+    pub output_words: usize,
+    /// Entries per address FIFO.
+    pub addr_fifo_entries: usize,
+    /// Entries in the execute µop FIFO.
+    pub uop_fifo_entries: usize,
+}
+
+impl PeConfig {
+    /// The Table III configuration: a 12-word input register file, 224-word
+    /// weight SRAM, 24-word partial-sum register file and 8-entry FIFOs.
+    pub fn paper() -> Self {
+        PeConfig {
+            input_words: 12,
+            weight_words: 224,
+            output_words: 24,
+            addr_fifo_entries: 8,
+            uop_fifo_entries: 16,
+        }
+    }
+
+    /// A roomier configuration used by functional-validation harnesses that
+    /// want to keep a whole (small) feature-map row resident in one PE.
+    pub fn roomy() -> Self {
+        PeConfig {
+            input_words: 1024,
+            weight_words: 1024,
+            output_words: 1024,
+            addr_fifo_entries: 8,
+            uop_fifo_entries: 16,
+        }
+    }
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One processing engine: an access µ-engine, an execute µ-engine, the three
+/// scratchpads they share, and activity counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessingEngine {
+    config: PeConfig,
+    access: AccessEngine,
+    execute: ExecuteEngine,
+    uop_fifo: UopFifo,
+    input: Scratchpad,
+    weights: Scratchpad,
+    output: Scratchpad,
+    cycles: u64,
+    busy_cycles: u64,
+    uop_fetches: u64,
+}
+
+impl ProcessingEngine {
+    /// Creates an idle PE with the given sizing.
+    pub fn new(config: PeConfig) -> Self {
+        ProcessingEngine {
+            config,
+            access: AccessEngine::new(config.addr_fifo_entries),
+            execute: ExecuteEngine::new(),
+            uop_fifo: UopFifo::new(config.uop_fifo_entries),
+            input: Scratchpad::new(config.input_words),
+            weights: Scratchpad::new(config.weight_words),
+            output: Scratchpad::new(config.output_words),
+            cycles: 0,
+            busy_cycles: 0,
+            uop_fetches: 0,
+        }
+    }
+
+    /// The PE's sizing.
+    pub fn config(&self) -> PeConfig {
+        self.config
+    }
+
+    /// Bulk-loads the input scratchpad from word 0.
+    pub fn load_input(&mut self, values: &[f32]) {
+        self.input.fill(values);
+    }
+
+    /// Bulk-loads the weight scratchpad from word 0.
+    pub fn load_weights(&mut self, values: &[f32]) {
+        self.weights.fill(values);
+    }
+
+    /// Clears the output scratchpad (between output rows).
+    pub fn clear_output(&mut self) {
+        self.output.reset();
+    }
+
+    /// Reads an output word without charging an access (result draining).
+    pub fn read_output(&mut self, addr: u16) -> f32 {
+        self.output.peek(addr)
+    }
+
+    /// The full output scratchpad contents.
+    pub fn output_contents(&self) -> &[f32] {
+        self.output.contents()
+    }
+
+    /// Applies an access µop to the access µ-engine.
+    pub fn apply_access(&mut self, uop: &AccessUop) {
+        self.access.apply(uop);
+    }
+
+    /// Configures one index generator with an explicit configuration.
+    pub fn configure_generator(&mut self, gen: AddrGenKind, config: GeneratorConfig) {
+        self.access.load_config(gen, config);
+    }
+
+    /// Convenience: configures a generator to walk `addr, addr+step, …` up to
+    /// (excluding) `end`, replaying the pattern `repeat` times.
+    pub fn configure_linear(
+        &mut self,
+        gen: AddrGenKind,
+        addr: u16,
+        step: u16,
+        end: u16,
+        repeat: u16,
+    ) {
+        self.configure_generator(
+            gen,
+            GeneratorConfig {
+                addr,
+                offset: 0,
+                step,
+                end,
+                repeat,
+            },
+        );
+    }
+
+    /// Starts every configured index generator.
+    pub fn start_all(&mut self) {
+        self.access.start_all();
+    }
+
+    /// Starts one index generator.
+    pub fn start(&mut self, gen: AddrGenKind) {
+        self.access.start(gen);
+    }
+
+    /// Loads the execute µ-engine's repeat register (`mimd.ld`).
+    pub fn set_repeat(&mut self, count: u16) {
+        self.execute.set_repeat(count);
+    }
+
+    /// Selects the activation function used by `act` µops.
+    pub fn set_activation(&mut self, activation: ActivationKind) {
+        self.execute.set_activation(activation);
+    }
+
+    /// Pushes an execute µop into the PE's µop FIFO.
+    ///
+    /// # Panics
+    /// Panics if the µop FIFO is full; the dispatcher is expected to respect
+    /// the FIFO depth.
+    pub fn push_uop(&mut self, uop: ExecUop) {
+        self.uop_fifo
+            .push(uop)
+            .expect("uop fifo overflow: dispatcher must respect fifo depth");
+    }
+
+    /// Whether the µop FIFO has room for another µop.
+    pub fn can_accept_uop(&self) -> bool {
+        !self.uop_fifo.is_full()
+    }
+
+    /// Whether the PE has nothing left to do: no in-flight µop, an empty µop
+    /// FIFO and no running index generator.
+    pub fn is_idle(&self) -> bool {
+        !self.execute.is_busy() && self.uop_fifo.is_empty() && !self.access.any_running()
+    }
+
+    /// Advances the PE by one cycle. Returns `true` if the execute µ-engine
+    /// performed an operation this cycle.
+    pub fn step(&mut self) -> bool {
+        self.cycles += 1;
+        // 1. Access µ-engine generates addresses into its FIFOs.
+        self.access.tick();
+
+        // 2. Execute µ-engine: fetch a µop if none is in flight.
+        if !self.execute.is_busy() {
+            while let Some(uop) = self.uop_fifo.pop() {
+                self.uop_fetches += 1;
+                if self.execute.issue(uop) {
+                    break;
+                }
+                // `repeat`/`nop` µops retire immediately; keep fetching.
+            }
+        }
+        if !self.execute.is_busy() {
+            return false;
+        }
+
+        // 3. Check operand availability (empty FIFO ⇒ stall, per the paper).
+        let uop = self.execute.current_uop().expect("busy engine has a uop");
+        let needs_weight = uop.source_operands() == 2;
+        let will_write = uop.writes_destination()
+            && (self.execute.remaining_repeats() == 1 || matches!(uop, ExecUop::Add | ExecUop::Mul | ExecUop::Act));
+        if self.access.fifo(AddrGenKind::Input).is_empty() {
+            return false;
+        }
+        if needs_weight && self.access.fifo(AddrGenKind::Weight).is_empty() {
+            return false;
+        }
+        if will_write && self.access.fifo(AddrGenKind::Output).is_empty() {
+            return false;
+        }
+
+        // 4. Pop addresses, read operands, execute, write back.
+        let in_addr = self
+            .access
+            .fifo_mut(AddrGenKind::Input)
+            .pop()
+            .expect("input fifo checked non-empty");
+        let a = self.input.read(in_addr);
+        let b = if needs_weight {
+            let w_addr = self
+                .access
+                .fifo_mut(AddrGenKind::Weight)
+                .pop()
+                .expect("weight fifo checked non-empty");
+            self.weights.read(w_addr)
+        } else {
+            0.0
+        };
+        if let Some(value) = self.execute.execute(a, b) {
+            let out_addr = self
+                .access
+                .fifo_mut(AddrGenKind::Output)
+                .pop()
+                .expect("output fifo checked non-empty");
+            self.output.write(out_addr, value);
+        }
+        self.busy_cycles += 1;
+        true
+    }
+
+    /// Steps the PE until it is idle or `max_cycles` have elapsed; returns the
+    /// number of cycles stepped.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
+        let mut stepped = 0;
+        while stepped < max_cycles && !self.is_idle() {
+            self.step();
+            stepped += 1;
+        }
+        stepped
+    }
+
+    /// Total cycles stepped.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles in which the execute µ-engine performed an operation.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Activity counters in the Table II categories.
+    pub fn counts(&self) -> EventCounts {
+        EventCounts {
+            alu_ops: self.execute.alu_ops(),
+            gated_ops: 0,
+            register_file_reads: self.input.reads() + self.weights.reads() + self.output.reads(),
+            register_file_writes: self.input.writes()
+                + self.weights.writes()
+                + self.output.writes(),
+            inter_pe_transfers: 0,
+            global_buffer_reads: 0,
+            global_buffer_writes: 0,
+            dram_reads: 0,
+            dram_writes: 0,
+            local_uop_fetches: self.uop_fetches,
+            global_uop_fetches: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Streams `n` input/weight pairs through a repeated `mac` and returns the
+    /// accumulated dot product written to output word 0.
+    fn dot_product(inputs: &[f32], weights: &[f32]) -> f32 {
+        let n = inputs.len() as u16;
+        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+        pe.load_input(inputs);
+        pe.load_weights(weights);
+        pe.configure_linear(AddrGenKind::Input, 0, 1, n, 1);
+        pe.configure_linear(AddrGenKind::Weight, 0, 1, n, 1);
+        pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+        pe.start_all();
+        pe.set_repeat(n);
+        pe.push_uop(ExecUop::Repeat);
+        pe.push_uop(ExecUop::Mac);
+        let cycles = pe.run_until_idle(10_000);
+        assert!(cycles < 10_000, "PE did not converge");
+        pe.read_output(0)
+    }
+
+    #[test]
+    fn computes_a_dot_product() {
+        let inputs = [1.0, 2.0, 3.0, 4.0];
+        let weights = [0.5, -1.0, 2.0, 0.25];
+        let expected: f32 = inputs.iter().zip(&weights).map(|(a, b)| a * b).sum();
+        assert!((dot_product(&inputs, &weights) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strided_input_access_skips_zero_columns() {
+        // Input holds a zero-inserted row [x0, 0, x1, 0, x2, 0, x3, 0]; a
+        // stride-2 access pattern touches only the original elements, which is
+        // how GANAX skips inconsequential columns.
+        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+        pe.load_input(&[1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+        pe.load_weights(&[1.0, 1.0, 1.0, 1.0]);
+        pe.configure_linear(AddrGenKind::Input, 0, 2, 8, 1);
+        pe.configure_linear(AddrGenKind::Weight, 0, 1, 4, 1);
+        pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+        pe.start_all();
+        pe.set_repeat(4);
+        pe.push_uop(ExecUop::Repeat);
+        pe.push_uop(ExecUop::Mac);
+        pe.run_until_idle(1_000);
+        assert_eq!(pe.read_output(0), 10.0);
+        // Exactly four multiplications were performed — no wasted work on the
+        // inserted zeros.
+        assert_eq!(pe.counts().alu_ops, 4);
+    }
+
+    #[test]
+    fn empty_uop_fifo_halts_execution() {
+        let mut pe = ProcessingEngine::new(PeConfig::paper());
+        pe.load_input(&[1.0, 2.0]);
+        pe.configure_linear(AddrGenKind::Input, 0, 1, 2, 1);
+        pe.start(AddrGenKind::Input);
+        // Addresses flow but no µop ever arrives: nothing executes.
+        for _ in 0..10 {
+            assert!(!pe.step());
+        }
+        assert_eq!(pe.counts().alu_ops, 0);
+    }
+
+    #[test]
+    fn empty_address_fifo_stalls_execution() {
+        let mut pe = ProcessingEngine::new(PeConfig::paper());
+        pe.load_input(&[1.0, 2.0]);
+        pe.load_weights(&[1.0, 1.0]);
+        // Weight generator is never started: mac stalls forever.
+        pe.configure_linear(AddrGenKind::Input, 0, 1, 2, 1);
+        pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+        pe.start(AddrGenKind::Input);
+        pe.start(AddrGenKind::Output);
+        pe.set_repeat(2);
+        pe.push_uop(ExecUop::Repeat);
+        pe.push_uop(ExecUop::Mac);
+        for _ in 0..20 {
+            pe.step();
+        }
+        assert_eq!(pe.counts().alu_ops, 0);
+        assert!(!pe.is_idle());
+    }
+
+    #[test]
+    fn act_uop_applies_activation_elementwise() {
+        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+        pe.load_input(&[-1.0, 2.0, -3.0]);
+        pe.configure_linear(AddrGenKind::Input, 0, 1, 3, 1);
+        pe.configure_linear(AddrGenKind::Output, 0, 1, 3, 1);
+        pe.start(AddrGenKind::Input);
+        pe.start(AddrGenKind::Output);
+        pe.set_activation(ActivationKind::Relu);
+        for _ in 0..3 {
+            pe.push_uop(ExecUop::Act);
+        }
+        pe.run_until_idle(1_000);
+        assert_eq!(pe.output_contents()[..3], [0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn counters_track_scratchpad_traffic() {
+        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+        pe.load_input(&[1.0, 2.0]);
+        pe.load_weights(&[3.0, 4.0]);
+        pe.configure_linear(AddrGenKind::Input, 0, 1, 2, 1);
+        pe.configure_linear(AddrGenKind::Weight, 0, 1, 2, 1);
+        pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+        pe.start_all();
+        pe.set_repeat(2);
+        pe.push_uop(ExecUop::Repeat);
+        pe.push_uop(ExecUop::Mac);
+        pe.run_until_idle(1_000);
+        let counts = pe.counts();
+        assert_eq!(counts.alu_ops, 2);
+        // 2 input reads + 2 weight reads.
+        assert_eq!(counts.register_file_reads, 4);
+        // Bulk loads (2 + 2 words) plus the single result write-back.
+        assert_eq!(counts.register_file_writes, 5);
+        assert_eq!(counts.local_uop_fetches, 2);
+        assert!(pe.busy_cycles() >= 2);
+        assert!(pe.cycles() >= pe.busy_cycles());
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut pe = ProcessingEngine::new(PeConfig::paper());
+        assert!(pe.is_idle());
+        pe.push_uop(ExecUop::Mac);
+        assert!(!pe.is_idle());
+    }
+}

@@ -1,0 +1,185 @@
+//! A processing vector: a row of PEs sharing one local µop buffer.
+
+use ganax_energy::EventCounts;
+use ganax_isa::{BufferError, ExecUop, LocalUopBuffer};
+
+use crate::pe::{PeConfig, ProcessingEngine};
+
+/// A processing vector (PV): `N` processing engines that always execute the
+/// same µop (SIMD within the PV), fed either by a broadcast from the global
+/// µop buffer or by the PV's own local µop buffer in MIMD-SIMD mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessingVector {
+    pes: Vec<ProcessingEngine>,
+    local_uops: LocalUopBuffer,
+}
+
+impl ProcessingVector {
+    /// Creates a PV of `num_pes` identical PEs.
+    pub fn new(num_pes: usize, config: PeConfig) -> Self {
+        ProcessingVector {
+            pes: (0..num_pes).map(|_| ProcessingEngine::new(config)).collect(),
+            local_uops: LocalUopBuffer::new(),
+        }
+    }
+
+    /// Number of PEs in the vector.
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Whether the vector has no PEs.
+    pub fn is_empty(&self) -> bool {
+        self.pes.is_empty()
+    }
+
+    /// Immutable access to one PE.
+    pub fn pe(&self, index: usize) -> &ProcessingEngine {
+        &self.pes[index]
+    }
+
+    /// Mutable access to one PE (for loading data and configuring generators).
+    pub fn pe_mut(&mut self, index: usize) -> &mut ProcessingEngine {
+        &mut self.pes[index]
+    }
+
+    /// Iterates over the PEs.
+    pub fn pes(&self) -> impl Iterator<Item = &ProcessingEngine> {
+        self.pes.iter()
+    }
+
+    /// Preloads the PV's local µop buffer.
+    ///
+    /// # Errors
+    /// Propagates capacity errors from the buffer.
+    pub fn load_local_uops(&mut self, uops: &[ExecUop]) -> Result<(), BufferError> {
+        self.local_uops.load(uops)
+    }
+
+    /// Broadcasts a µop directly to every PE (SIMD mode: the local buffer is
+    /// bypassed).
+    pub fn broadcast(&mut self, uop: ExecUop) {
+        for pe in &mut self.pes {
+            pe.push_uop(uop);
+        }
+    }
+
+    /// Fetches the µop at `index` from the local buffer and broadcasts it to
+    /// every PE (MIMD-SIMD mode).
+    ///
+    /// # Errors
+    /// Propagates out-of-range errors from the local buffer.
+    pub fn dispatch_local(&mut self, index: usize) -> Result<ExecUop, BufferError> {
+        let uop = self.local_uops.fetch(index)?;
+        self.broadcast(uop);
+        Ok(uop)
+    }
+
+    /// Whether every PE can accept another µop.
+    pub fn can_accept_uop(&self) -> bool {
+        self.pes.iter().all(ProcessingEngine::can_accept_uop)
+    }
+
+    /// Steps every PE by one cycle; returns how many performed an operation.
+    pub fn step(&mut self) -> usize {
+        self.pes.iter_mut().map(|pe| usize::from(pe.step())).sum()
+    }
+
+    /// Whether every PE is idle.
+    pub fn is_idle(&self) -> bool {
+        self.pes.iter().all(ProcessingEngine::is_idle)
+    }
+
+    /// Steps until every PE is idle or `max_cycles` have elapsed; returns the
+    /// number of cycles stepped.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
+        let mut stepped = 0;
+        while stepped < max_cycles && !self.is_idle() {
+            self.step();
+            stepped += 1;
+        }
+        stepped
+    }
+
+    /// Aggregated activity counters across the PEs, including local µop buffer
+    /// fetches.
+    pub fn counts(&self) -> EventCounts {
+        let mut total: EventCounts = self.pes.iter().map(ProcessingEngine::counts).sum();
+        total.local_uop_fetches += self.local_uops.reads();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganax_isa::AddrGenKind;
+
+    fn loaded_pv() -> ProcessingVector {
+        let mut pv = ProcessingVector::new(4, PeConfig::roomy());
+        for i in 0..4 {
+            let pe = pv.pe_mut(i);
+            pe.load_input(&[i as f32 + 1.0, 2.0]);
+            pe.load_weights(&[10.0, 1.0]);
+            pe.configure_linear(AddrGenKind::Input, 0, 1, 2, 1);
+            pe.configure_linear(AddrGenKind::Weight, 0, 1, 2, 1);
+            pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+            pe.start_all();
+            pe.set_repeat(2);
+        }
+        pv
+    }
+
+    #[test]
+    fn broadcast_runs_the_same_uop_on_distinct_data() {
+        let mut pv = loaded_pv();
+        pv.broadcast(ExecUop::Repeat);
+        pv.broadcast(ExecUop::Mac);
+        let cycles = pv.run_until_idle(1_000);
+        assert!(cycles < 1_000);
+        for i in 0..4 {
+            let expected = (i as f32 + 1.0) * 10.0 + 2.0;
+            assert_eq!(pv.pe_mut(i).read_output(0), expected);
+        }
+    }
+
+    #[test]
+    fn dispatch_local_fetches_from_the_local_buffer() {
+        let mut pv = loaded_pv();
+        pv.load_local_uops(&[ExecUop::Repeat, ExecUop::Mac]).unwrap();
+        assert_eq!(pv.dispatch_local(0).unwrap(), ExecUop::Repeat);
+        assert_eq!(pv.dispatch_local(1).unwrap(), ExecUop::Mac);
+        pv.run_until_idle(1_000);
+        assert_eq!(pv.pe_mut(0).read_output(0), 12.0);
+        // Local buffer fetches are counted for energy accounting.
+        assert_eq!(pv.counts().local_uop_fetches, 2 + 4 * 2);
+    }
+
+    #[test]
+    fn dispatch_local_out_of_range_is_an_error() {
+        let mut pv = loaded_pv();
+        pv.load_local_uops(&[ExecUop::Mac]).unwrap();
+        assert!(pv.dispatch_local(3).is_err());
+    }
+
+    #[test]
+    fn counts_aggregate_across_pes() {
+        let mut pv = loaded_pv();
+        pv.broadcast(ExecUop::Repeat);
+        pv.broadcast(ExecUop::Mac);
+        pv.run_until_idle(1_000);
+        let counts = pv.counts();
+        assert_eq!(counts.alu_ops, 4 * 2);
+        assert_eq!(counts.register_file_reads, 4 * 4);
+    }
+
+    #[test]
+    fn vector_size_accessors() {
+        let pv = ProcessingVector::new(3, PeConfig::paper());
+        assert_eq!(pv.len(), 3);
+        assert!(!pv.is_empty());
+        assert!(pv.is_idle());
+        assert!(pv.can_accept_uop());
+        assert_eq!(pv.pes().count(), 3);
+    }
+}

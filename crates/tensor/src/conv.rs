@@ -1,0 +1,392 @@
+//! Reference convolution and transposed-convolution implementations.
+//!
+//! These are direct loop nests over the mathematical definitions. They are not
+//! fast; their only job is to be obviously correct so the accelerator models can
+//! be validated against them.
+
+use crate::error::{Result, TensorError};
+use crate::params::{ConvKind, ConvParams};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::zero_insert::zero_insert;
+
+fn check_filter(input: Shape, weight: Shape, context: &'static str) -> Result<()> {
+    if !weight.is_filter() {
+        return Err(TensorError::ShapeMismatch {
+            context,
+            detail: format!("weight {weight} is not a filter shape"),
+        });
+    }
+    if weight.filter_channels != input.channels {
+        return Err(TensorError::ShapeMismatch {
+            context,
+            detail: format!(
+                "weight input channels {} != input channels {}",
+                weight.filter_channels, input.channels
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn check_kernel(params: &ConvParams, weight: Shape, context: &'static str) -> Result<()> {
+    if params.kernel != (weight.depth, weight.height, weight.width) {
+        return Err(TensorError::ShapeMismatch {
+            context,
+            detail: format!(
+                "kernel {:?} does not match weight spatial extent {}x{}x{}",
+                params.kernel, weight.depth, weight.height, weight.width
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Conventional (data-reducing) convolution.
+///
+/// `weight` has shape `out_channels × in_channels × kd × kh × kw`. Padding is
+/// implicit zero padding around the input.
+///
+/// # Errors
+/// Returns a [`TensorError::ShapeMismatch`] if the weight does not match the
+/// input channels or the declared kernel extent, and propagates geometry errors
+/// from [`ConvParams::output_shape`].
+pub fn conv(input: &Tensor, weight: &Tensor, params: &ConvParams) -> Result<Tensor> {
+    let in_shape = input.shape();
+    let w_shape = weight.shape();
+    check_filter(in_shape, w_shape, "conv")?;
+    check_kernel(params, w_shape, "conv")?;
+    let conv_params = ConvParams {
+        kind: ConvKind::Conventional,
+        ..*params
+    };
+    let out_shape = conv_params.output_shape(in_shape, w_shape.channels)?;
+    let mut out = Tensor::zeros(out_shape);
+    let (kd, kh, kw) = conv_params.kernel;
+    let (sd, sh, sw) = conv_params.stride;
+    let (pd, ph, pw) = conv_params.padding;
+
+    for co in 0..out_shape.channels {
+        for oz in 0..out_shape.depth {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    let mut acc = 0.0f32;
+                    for ci in 0..in_shape.channels {
+                        for kz in 0..kd {
+                            let iz = (oz * sd + kz) as isize - pd as isize;
+                            if iz < 0 || iz as usize >= in_shape.depth {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let iy = (oy * sh + ky) as isize - ph as isize;
+                                if iy < 0 || iy as usize >= in_shape.height {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * sw + kx) as isize - pw as isize;
+                                    if ix < 0 || ix as usize >= in_shape.width {
+                                        continue;
+                                    }
+                                    acc += input.at(ci, iz as usize, iy as usize, ix as usize)
+                                        * weight.at_filter(co, ci, kz, ky, kx);
+                                }
+                            }
+                        }
+                    }
+                    out.set(co, oz, oy, ox, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Transposed (data-expanding) convolution, computed directly in scatter form.
+///
+/// `weight` has shape `out_channels × in_channels × kd × kh × kw`, i.e. the
+/// same layout as for [`conv`]; each original input element is scattered into
+/// the output through every kernel tap.
+///
+/// # Errors
+/// Returns a [`TensorError::ShapeMismatch`] if the weight does not match the
+/// input channels or the declared kernel extent, and propagates geometry errors
+/// from [`ConvParams::output_shape`].
+pub fn tconv(input: &Tensor, weight: &Tensor, params: &ConvParams) -> Result<Tensor> {
+    let in_shape = input.shape();
+    let w_shape = weight.shape();
+    check_filter(in_shape, w_shape, "tconv")?;
+    check_kernel(params, w_shape, "tconv")?;
+    let t_params = ConvParams {
+        kind: ConvKind::Transposed,
+        ..*params
+    };
+    let out_shape = t_params.output_shape(in_shape, w_shape.channels)?;
+    let mut out = Tensor::zeros(out_shape);
+    let (kd, kh, kw) = t_params.kernel;
+    let (sd, sh, sw) = t_params.stride;
+    let (pd, ph, pw) = t_params.padding;
+
+    for ci in 0..in_shape.channels {
+        for iz in 0..in_shape.depth {
+            for iy in 0..in_shape.height {
+                for ix in 0..in_shape.width {
+                    let v = input.at(ci, iz, iy, ix);
+                    if v == 0.0 {
+                        // Zero inputs scatter nothing; skipping them changes no
+                        // result and keeps the reference usable on large maps.
+                        continue;
+                    }
+                    for co in 0..out_shape.channels {
+                        for kz in 0..kd {
+                            let oz = (iz * sd + kz) as isize - pd as isize;
+                            if oz < 0 || oz as usize >= out_shape.depth {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let oy = (iy * sh + ky) as isize - ph as isize;
+                                if oy < 0 || oy as usize >= out_shape.height {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ox = (ix * sw + kx) as isize - pw as isize;
+                                    if ox < 0 || ox as usize >= out_shape.width {
+                                        continue;
+                                    }
+                                    out.add_at(
+                                        co,
+                                        oz as usize,
+                                        oy as usize,
+                                        ox as usize,
+                                        v * weight.at_filter(co, ci, kz, ky, kx),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Spatially flips a filter along every kernel axis (the classical
+/// correlation/convolution adjoint relationship).
+pub fn flip_kernel(weight: &Tensor) -> Tensor {
+    let shape = weight.shape();
+    assert!(shape.is_filter(), "flip_kernel requires a filter tensor");
+    Tensor::from_filter_fn(shape, |co, ci, z, y, x| {
+        weight.at_filter(
+            co,
+            ci,
+            shape.depth - 1 - z,
+            shape.height - 1 - y,
+            shape.width - 1 - x,
+        )
+    })
+}
+
+/// Computes a transposed convolution the way the paper's "conventional
+/// convolution dataflow" does: materialise the zero-inserted input, then run a
+/// stride-1 dense convolution with the spatially flipped kernel over it.
+///
+/// This is mathematically identical to [`tconv`] (a property test asserts so)
+/// but executes every inconsequential multiply-add explicitly, which is exactly
+/// the behaviour the Eyeriss baseline model accounts for.
+///
+/// # Errors
+/// Propagates the same shape errors as [`tconv`].
+pub fn tconv_via_zero_insertion(
+    input: &Tensor,
+    weight: &Tensor,
+    params: &ConvParams,
+) -> Result<Tensor> {
+    let t_params = ConvParams {
+        kind: ConvKind::Transposed,
+        ..*params
+    };
+    check_filter(input.shape(), weight.shape(), "tconv_via_zero_insertion")?;
+    check_kernel(&t_params, weight.shape(), "tconv_via_zero_insertion")?;
+    let expanded = zero_insert(input, &t_params)?;
+    let flipped = flip_kernel(weight);
+    let dense = ConvParams {
+        kind: ConvKind::Conventional,
+        kernel: t_params.kernel,
+        stride: (1, 1, 1),
+        padding: (0, 0, 0),
+        output_padding: (0, 0, 0),
+    };
+    conv(&expanded, &flipped, &dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple_input(h: usize, w: usize) -> Tensor {
+        Tensor::from_fn_2d(1, h, w, |_, y, x| (1 + y * w + x) as f32)
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let input = simple_input(4, 4);
+        let mut weight = Tensor::zeros(Shape::filter(1, 1, 1, 3, 3));
+        weight.set_filter(0, 0, 0, 1, 1, 1.0);
+        let params = ConvParams::conv_2d(3, 1, 1);
+        let out = conv(&input, &weight, &params).unwrap();
+        assert!(out.approx_eq(&input, 1e-6));
+    }
+
+    #[test]
+    fn conv_box_filter_small_case() {
+        // 2x2 input, 2x2 all-ones kernel, stride 1, no padding -> single sum.
+        let input = simple_input(2, 2);
+        let weight = Tensor::filled_filter(1, 1, 1, 2, 2, 1.0);
+        let params = ConvParams::conv_2d(2, 1, 0);
+        let out = conv(&input, &weight, &params).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 1, 1));
+        assert_eq!(out.at_2d(0, 0, 0), 1.0 + 2.0 + 3.0 + 4.0);
+    }
+
+    #[test]
+    fn conv_multi_channel_accumulates_across_input_channels() {
+        let input = Tensor::from_fn_2d(2, 2, 2, |c, y, x| (c * 10 + y * 2 + x) as f32);
+        let weight = Tensor::filled_filter(3, 2, 1, 1, 1, 1.0);
+        let params = ConvParams::conv_2d(1, 1, 0);
+        let out = conv(&input, &weight, &params).unwrap();
+        assert_eq!(out.shape().channels, 3);
+        // Each output element is the sum across the two input channels.
+        assert_eq!(out.at_2d(0, 0, 0), 0.0 + 10.0);
+        assert_eq!(out.at_2d(2, 1, 1), 3.0 + 13.0);
+    }
+
+    #[test]
+    fn tconv_single_pixel_stamps_kernel() {
+        // A single input pixel with value 2 and a 3x3 kernel, stride 1, no
+        // padding: the output is just the kernel scaled by 2.
+        let input = Tensor::filled(Shape::new_2d(1, 1, 1), 2.0);
+        let weight =
+            Tensor::from_filter_fn(Shape::filter(1, 1, 1, 3, 3), |_, _, _, y, x| (y * 3 + x) as f32);
+        let params = ConvParams::transposed_2d(3, 1, 0);
+        let out = tconv(&input, &weight, &params).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 3, 3));
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(out.at_2d(0, y, x), 2.0 * (y * 3 + x) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn tconv_matches_zero_insertion_path_on_paper_example() {
+        let input = simple_input(4, 4);
+        let weight = Tensor::from_filter_fn(Shape::filter(1, 1, 1, 5, 5), |_, _, _, y, x| {
+            ((y as i32 - x as i32) as f32) * 0.25 + 1.0
+        });
+        let params = ConvParams::transposed_2d(5, 2, 2);
+        let direct = tconv(&input, &weight, &params).unwrap();
+        let via = tconv_via_zero_insertion(&input, &weight, &params).unwrap();
+        assert_eq!(direct.shape(), Shape::new(1, 1, 7, 7));
+        assert!(direct.approx_eq(&via, 1e-4));
+    }
+
+    #[test]
+    fn tconv_3d_matches_zero_insertion_path() {
+        let input = Tensor::from_fn(Shape::new(2, 2, 2, 2), |c, z, y, x| {
+            (c + z + y + x) as f32 + 0.5
+        });
+        let weight = Tensor::from_filter_fn(Shape::filter(3, 2, 4, 4, 4), |co, ci, z, y, x| {
+            ((co + ci + z + y + x) % 5) as f32 * 0.1
+        });
+        let params = ConvParams::transposed_3d(4, 2, 1);
+        let direct = tconv(&input, &weight, &params).unwrap();
+        let via = tconv_via_zero_insertion(&input, &weight, &params).unwrap();
+        assert_eq!(direct.shape().depth, 4);
+        assert!(direct.approx_eq(&via, 1e-4));
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let input = simple_input(4, 4);
+        let weight = Tensor::filled_filter(1, 2, 1, 3, 3, 1.0);
+        let params = ConvParams::conv_2d(3, 1, 1);
+        assert!(conv(&input, &weight, &params).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_kernel_mismatch() {
+        let input = simple_input(4, 4);
+        let weight = Tensor::filled_filter(1, 1, 1, 3, 3, 1.0);
+        let params = ConvParams::conv_2d(5, 1, 2);
+        assert!(conv(&input, &weight, &params).is_err());
+    }
+
+    #[test]
+    fn flip_kernel_is_involutive() {
+        let weight = Tensor::from_filter_fn(Shape::filter(2, 3, 1, 3, 3), |co, ci, _, y, x| {
+            (co * 100 + ci * 10 + y * 3 + x) as f32
+        });
+        let back = flip_kernel(&flip_kernel(&weight));
+        assert!(weight.approx_eq(&back, 0.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The defining property of the expansion path: scatter-form transposed
+        /// convolution equals dense convolution over the zero-inserted input.
+        #[test]
+        fn prop_tconv_equals_zero_insertion_path(
+            h in 1usize..5,
+            w in 1usize..5,
+            cin in 1usize..3,
+            cout in 1usize..3,
+            kernel in 2usize..5,
+            stride in 1usize..3,
+            seed in 0u64..1000,
+        ) {
+            let padding = kernel / 2;
+            let params = ConvParams::transposed_2d(kernel, stride, padding);
+            prop_assume!(params.output_shape(Shape::new_2d(cin, h, w), cout).is_ok());
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state % 1000) as f32 / 500.0) - 1.0
+            };
+            let input = Tensor::from_fn_2d(cin, h, w, |_, _, _| next());
+            let weight = Tensor::from_filter_fn(
+                Shape::filter(cout, cin, 1, kernel, kernel),
+                |_, _, _, _, _| next(),
+            );
+            let direct = tconv(&input, &weight, &params).unwrap();
+            let via = tconv_via_zero_insertion(&input, &weight, &params).unwrap();
+            prop_assert!(direct.approx_eq(&via, 1e-3));
+        }
+
+        /// Output shape algebra: a conventional convolution with the same
+        /// geometry maps the transposed output extent back to the input extent.
+        #[test]
+        fn prop_conv_inverts_tconv_shape(
+            extent in 1usize..10,
+            kernel in 1usize..6,
+            stride in 1usize..4,
+        ) {
+            prop_assume!(kernel >= stride);
+            let padding = (kernel - stride) / 2;
+            prop_assume!(kernel > 2 * padding || extent > 1);
+            let t = ConvParams::transposed_2d(kernel, stride, padding);
+            let c = ConvParams::conv_2d(kernel, stride, padding);
+            let input = Shape::new_2d(1, extent, extent);
+            if let Ok(out) = t.output_shape(input, 1) {
+                let back = c.output_shape(out, 1).unwrap();
+                prop_assert!(back.height >= extent);
+                // The forward pass can overshoot by at most one when geometry
+                // is asymmetric, but never undershoots.
+                prop_assert!(back.height <= extent + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error handling for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and the reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the shape's volume.
+    LengthMismatch {
+        /// Elements expected from the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors (or a tensor and a parameter set) have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of what was being attempted.
+        context: &'static str,
+        /// Description of the expectation that was violated.
+        detail: String,
+    },
+    /// A convolution would produce an empty or negative-sized output.
+    EmptyOutput {
+        /// Description of the offending geometry.
+        detail: String,
+    },
+    /// An index was outside the bounds of the tensor.
+    OutOfBounds {
+        /// The flattened index that was requested.
+        index: usize,
+        /// The number of elements in the tensor.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { context, detail } => {
+                write!(f, "shape mismatch during {context}: {detail}")
+            }
+            TensorError::EmptyOutput { detail } => {
+                write!(f, "operation would produce an empty output: {detail}")
+            }
+            TensorError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        assert_eq!(
+            err.to_string(),
+            "data length 10 does not match shape volume 12"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            context: "convolution",
+            detail: "weight channels 3 != input channels 4".to_string(),
+        };
+        assert!(err.to_string().contains("convolution"));
+        assert!(err.to_string().contains("weight channels"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = TensorError::OutOfBounds { index: 7, len: 4 };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TensorError>();
+    }
+}

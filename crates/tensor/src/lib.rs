@@ -1,0 +1,48 @@
+//! Dense tensors and reference convolution / transposed-convolution operators.
+//!
+//! This crate is the *golden functional model* of the GANAX reproduction: every
+//! accelerator path (the Eyeriss-style baseline and the GANAX machine itself) is
+//! validated against the straightforward, loop-nest implementations defined here.
+//!
+//! The crate deliberately favours clarity over performance. All spatial data is
+//! represented volumetrically (depth × height × width); two-dimensional feature
+//! maps are simply volumes with a depth of one, which lets a single convolution
+//! implementation serve both the 2-D GANs (DCGAN, ArtGAN, …) and the volumetric
+//! 3D-GAN workload.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax_tensor::{ConvParams, Tensor, conv, tconv};
+//!
+//! // A tiny 1-channel 4x4 input, upsampled 2x by a 5x5 transposed convolution —
+//! // the worked example from Figure 4 of the GANAX paper.
+//! let input = Tensor::from_fn_2d(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+//! let weight = Tensor::filled_filter(1, 1, 1, 5, 5, 0.5);
+//! let params = ConvParams::transposed_2d(5, 2, 2);
+//! let output = tconv(&input, &weight, &params).unwrap();
+//! assert_eq!(output.shape().height, 7);
+//! assert_eq!(output.shape().width, 7);
+//!
+//! // The forward convolution of the same geometry reduces 7x7 back to 4x4.
+//! let fwd = ConvParams::conv_2d(5, 2, 2);
+//! let reduced = conv(&output, &weight, &fwd).unwrap();
+//! assert_eq!(reduced.shape().height, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod params;
+mod shape;
+mod tensor;
+mod zero_insert;
+
+pub use conv::{conv, flip_kernel, tconv, tconv_via_zero_insertion};
+pub use error::{Result, TensorError};
+pub use params::{ConvKind, ConvParams};
+pub use shape::Shape;
+pub use tensor::Tensor;
+pub use zero_insert::{zero_insert, zero_inserted_extent, ZeroInsertion};

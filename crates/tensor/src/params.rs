@@ -1,0 +1,329 @@
+//! Convolution and transposed-convolution geometry parameters.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+
+/// Whether a layer performs a data-reducing convolution or a data-expanding
+/// transposed convolution (Figure 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvKind {
+    /// Conventional convolution: slides a window over the input with a stride,
+    /// reducing (or preserving) the spatial extent.
+    Conventional,
+    /// Transposed convolution: inserts `stride - 1` zeros between input
+    /// elements and then convolves, expanding the spatial extent.
+    Transposed,
+}
+
+/// Geometry of a (transposed) convolution: kernel extent, stride and padding
+/// per spatial axis.
+///
+/// For a conventional convolution the output extent along an axis is
+/// `(input + 2 * padding - kernel) / stride + 1`.
+///
+/// For a transposed convolution the output extent is
+/// `(input - 1) * stride - 2 * padding + kernel + output_padding`, matching the
+/// common deep-learning framework convention. The equivalent "expanded input"
+/// view used throughout the paper inserts `stride - 1` zeros between adjacent
+/// input elements and then performs a stride-1 convolution with border padding
+/// of `kernel - 1 - padding`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParams {
+    /// Operation flavour.
+    pub kind: ConvKind,
+    /// Kernel extent (depth, height, width).
+    pub kernel: (usize, usize, usize),
+    /// Stride (depth, height, width). For transposed convolutions this is the
+    /// upsampling factor, i.e. `stride - 1` zeros are inserted along each axis.
+    pub stride: (usize, usize, usize),
+    /// Padding (depth, height, width).
+    pub padding: (usize, usize, usize),
+    /// Extra rows/columns appended to the output of a transposed convolution
+    /// (depth, height, width). Ignored for conventional convolutions.
+    pub output_padding: (usize, usize, usize),
+}
+
+impl ConvParams {
+    /// Square 2-D conventional convolution.
+    pub fn conv_2d(kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvParams {
+            kind: ConvKind::Conventional,
+            kernel: (1, kernel, kernel),
+            stride: (1, stride, stride),
+            padding: (0, padding, padding),
+            output_padding: (0, 0, 0),
+        }
+    }
+
+    /// Square 2-D transposed convolution.
+    pub fn transposed_2d(kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvParams {
+            kind: ConvKind::Transposed,
+            kernel: (1, kernel, kernel),
+            stride: (1, stride, stride),
+            padding: (0, padding, padding),
+            output_padding: (0, 0, 0),
+        }
+    }
+
+    /// Cubic 3-D conventional convolution (used by the 3D-GAN discriminator).
+    pub fn conv_3d(kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvParams {
+            kind: ConvKind::Conventional,
+            kernel: (kernel, kernel, kernel),
+            stride: (stride, stride, stride),
+            padding: (padding, padding, padding),
+            output_padding: (0, 0, 0),
+        }
+    }
+
+    /// Cubic 3-D transposed convolution (used by the 3D-GAN generator).
+    pub fn transposed_3d(kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvParams {
+            kind: ConvKind::Transposed,
+            kernel: (kernel, kernel, kernel),
+            stride: (stride, stride, stride),
+            padding: (padding, padding, padding),
+            output_padding: (0, 0, 0),
+        }
+    }
+
+    /// Adds transposed-convolution output padding along (depth, height, width).
+    pub fn with_output_padding(mut self, depth: usize, height: usize, width: usize) -> Self {
+        self.output_padding = (depth, height, width);
+        self
+    }
+
+    /// Whether this describes a transposed convolution.
+    pub fn is_transposed(&self) -> bool {
+        self.kind == ConvKind::Transposed
+    }
+
+    /// The number of zeros inserted between adjacent input elements along each
+    /// axis by the transposed convolution's expansion step (zero for
+    /// conventional convolutions and for stride-1 transposed convolutions).
+    pub fn inserted_zeros(&self) -> (usize, usize, usize) {
+        match self.kind {
+            ConvKind::Conventional => (0, 0, 0),
+            ConvKind::Transposed => (
+                self.stride.0 - 1,
+                self.stride.1 - 1,
+                self.stride.2 - 1,
+            ),
+        }
+    }
+
+    /// Output spatial extent along one axis.
+    fn out_extent_1d(&self, input: usize, axis: usize) -> Result<usize> {
+        let (k, s, p, op) = match axis {
+            0 => (
+                self.kernel.0,
+                self.stride.0,
+                self.padding.0,
+                self.output_padding.0,
+            ),
+            1 => (
+                self.kernel.1,
+                self.stride.1,
+                self.padding.1,
+                self.output_padding.1,
+            ),
+            _ => (
+                self.kernel.2,
+                self.stride.2,
+                self.padding.2,
+                self.output_padding.2,
+            ),
+        };
+        match self.kind {
+            ConvKind::Conventional => {
+                let padded = input + 2 * p;
+                if padded < k {
+                    return Err(TensorError::EmptyOutput {
+                        detail: format!(
+                            "padded input extent {padded} smaller than kernel {k} on axis {axis}"
+                        ),
+                    });
+                }
+                Ok((padded - k) / s + 1)
+            }
+            ConvKind::Transposed => {
+                if input == 0 {
+                    return Err(TensorError::EmptyOutput {
+                        detail: format!("zero input extent on axis {axis}"),
+                    });
+                }
+                let grown = (input - 1) * s + k + op;
+                if grown < 2 * p + 1 {
+                    return Err(TensorError::EmptyOutput {
+                        detail: format!(
+                            "padding {p} consumes the whole transposed output on axis {axis}"
+                        ),
+                    });
+                }
+                Ok(grown - 2 * p)
+            }
+        }
+    }
+
+    /// Computes the output feature-map shape for an input shape and a filter
+    /// with `out_channels` output channels.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::EmptyOutput`] if the geometry would produce an
+    /// empty output along any axis.
+    pub fn output_shape(&self, input: Shape, out_channels: usize) -> Result<Shape> {
+        let depth = self.out_extent_1d(input.depth, 0)?;
+        let height = self.out_extent_1d(input.height, 1)?;
+        let width = self.out_extent_1d(input.width, 2)?;
+        Ok(Shape::new(out_channels, depth, height, width))
+    }
+
+    /// Number of multiply-accumulate operations a *dense* sliding-window
+    /// execution of this layer performs (for transposed convolutions this is
+    /// counted over the zero-inserted input — the "conventional dataflow" cost
+    /// that Figure 1 of the paper uses as its denominator).
+    pub fn dense_macs(&self, input: Shape, out_channels: usize) -> Result<u64> {
+        let out = self.output_shape(input, out_channels)?;
+        let per_output = self.kernel.0 as u64
+            * self.kernel.1 as u64
+            * self.kernel.2 as u64
+            * input.channels as u64;
+        Ok(out.volume() as u64 * per_output)
+    }
+
+    /// Number of *consequential* multiply-accumulate operations: products whose
+    /// input operand is an original (non-inserted) input element. For
+    /// conventional convolutions this equals [`ConvParams::dense_macs`].
+    pub fn consequential_macs(&self, input: Shape, out_channels: usize) -> Result<u64> {
+        match self.kind {
+            ConvKind::Conventional => self.dense_macs(input, out_channels),
+            ConvKind::Transposed => {
+                // Every original input element is touched by exactly
+                // kernel_d * kernel_h * kernel_w * out_channels products in the
+                // scatter formulation (minus those scattered outside the output
+                // bounds). Count them exactly by walking the scatter extent.
+                let out = self.output_shape(input, out_channels)?;
+                let mut per_axis = [0u64; 3];
+                for (axis, (extent, out_extent)) in [
+                    (input.depth, out.depth),
+                    (input.height, out.height),
+                    (input.width, out.width),
+                ]
+                .iter()
+                .enumerate()
+                {
+                    let (k, s, p) = match axis {
+                        0 => (self.kernel.0, self.stride.0, self.padding.0),
+                        1 => (self.kernel.1, self.stride.1, self.padding.1),
+                        _ => (self.kernel.2, self.stride.2, self.padding.2),
+                    };
+                    let mut count = 0u64;
+                    for i in 0..*extent {
+                        for kk in 0..k {
+                            let pos = (i * s + kk) as isize - p as isize;
+                            if pos >= 0 && (pos as usize) < *out_extent {
+                                count += 1;
+                            }
+                        }
+                    }
+                    per_axis[axis] = count;
+                }
+                Ok(per_axis[0]
+                    * per_axis[1]
+                    * per_axis[2]
+                    * input.channels as u64
+                    * out_channels as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_output_shape() {
+        // 64x64 input, 5x5 kernel, stride 2, padding 2 -> 32x32.
+        let p = ConvParams::conv_2d(5, 2, 2);
+        let out = p.output_shape(Shape::new_2d(3, 64, 64), 16).unwrap();
+        assert_eq!((out.channels, out.height, out.width), (16, 32, 32));
+    }
+
+    #[test]
+    fn transposed_output_shape_paper_example() {
+        // The Figure 4 example: 4x4 input, 5x5 filter, upsample 2, padding 2 -> 7x7.
+        let p = ConvParams::transposed_2d(5, 2, 2);
+        let out = p.output_shape(Shape::new_2d(1, 4, 4), 1).unwrap();
+        assert_eq!((out.height, out.width), (7, 7));
+    }
+
+    #[test]
+    fn transposed_output_shape_dcgan_layer() {
+        // DCGAN-style: 4x4 -> 8x8 with k=5, s=2, p=2, output padding 1.
+        let p = ConvParams::transposed_2d(5, 2, 2).with_output_padding(0, 1, 1);
+        let out = p.output_shape(Shape::new_2d(1024, 4, 4), 512).unwrap();
+        assert_eq!((out.height, out.width), (8, 8));
+        assert_eq!(out.channels, 512);
+    }
+
+    #[test]
+    fn transposed_3d_output_shape() {
+        let p = ConvParams::transposed_3d(4, 2, 1);
+        let out = p.output_shape(Shape::new(512, 4, 4, 4), 256).unwrap();
+        assert_eq!((out.depth, out.height, out.width), (8, 8, 8));
+    }
+
+    #[test]
+    fn empty_output_is_an_error() {
+        let p = ConvParams::conv_2d(7, 1, 0);
+        assert!(p.output_shape(Shape::new_2d(1, 4, 4), 1).is_err());
+    }
+
+    #[test]
+    fn inserted_zero_counts() {
+        assert_eq!(ConvParams::conv_2d(3, 2, 1).inserted_zeros(), (0, 0, 0));
+        assert_eq!(
+            ConvParams::transposed_2d(5, 2, 2).inserted_zeros(),
+            (0, 1, 1)
+        );
+        assert_eq!(
+            ConvParams::transposed_3d(4, 2, 1).inserted_zeros(),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn dense_vs_consequential_macs_conventional() {
+        let p = ConvParams::conv_2d(3, 1, 1);
+        let shape = Shape::new_2d(4, 16, 16);
+        assert_eq!(
+            p.dense_macs(shape, 8).unwrap(),
+            p.consequential_macs(shape, 8).unwrap()
+        );
+    }
+
+    #[test]
+    fn consequential_fraction_for_stride2_upsampling() {
+        // With 2x upsampling roughly 3/4 of the products hit inserted zeros, so
+        // the consequential count should be roughly a quarter of the dense count.
+        let p = ConvParams::transposed_2d(5, 2, 2);
+        let shape = Shape::new_2d(64, 16, 16);
+        let dense = p.dense_macs(shape, 32).unwrap() as f64;
+        let consequential = p.consequential_macs(shape, 32).unwrap() as f64;
+        let ratio = consequential / dense;
+        assert!(ratio > 0.2 && ratio < 0.35, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn consequential_macs_exact_small_case() {
+        // 1x1 input, 3x3 kernel, stride 2, no padding: output is 3x3 and every
+        // kernel tap lands in-bounds exactly once -> 9 consequential MACs.
+        let p = ConvParams::transposed_2d(3, 2, 0);
+        let shape = Shape::new_2d(1, 1, 1);
+        assert_eq!(p.consequential_macs(shape, 1).unwrap(), 9);
+        let out = p.output_shape(shape, 1).unwrap();
+        assert_eq!((out.height, out.width), (3, 3));
+    }
+}

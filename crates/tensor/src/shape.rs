@@ -1,0 +1,239 @@
+//! Shapes of feature maps and filters.
+
+use std::fmt;
+
+/// The shape of a dense feature-map or filter tensor.
+///
+/// Data is always treated volumetrically: a 2-D feature map is a volume with
+/// `depth == 1`. Filters additionally carry the number of *input* channels they
+/// consume via [`Shape::filter_channels`]; feature maps leave it at zero.
+///
+/// Storage order is `[channels][filter_channels][depth][height][width]`, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of (output) channels.
+    pub channels: usize,
+    /// Number of input channels addressed by each filter (0 for feature maps).
+    pub filter_channels: usize,
+    /// Spatial depth (1 for 2-D data).
+    pub depth: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+}
+
+impl Shape {
+    /// Creates a feature-map shape (no filter-channel axis).
+    ///
+    /// # Example
+    /// ```
+    /// let s = ganax_tensor::Shape::new(3, 1, 64, 64);
+    /// assert_eq!(s.volume(), 3 * 64 * 64);
+    /// ```
+    pub fn new(channels: usize, depth: usize, height: usize, width: usize) -> Self {
+        Shape {
+            channels,
+            filter_channels: 0,
+            depth,
+            height,
+            width,
+        }
+    }
+
+    /// Creates a 2-D feature-map shape (depth of one).
+    pub fn new_2d(channels: usize, height: usize, width: usize) -> Self {
+        Shape::new(channels, 1, height, width)
+    }
+
+    /// Creates a filter shape: `out_channels × in_channels × depth × height × width`.
+    pub fn filter(
+        out_channels: usize,
+        in_channels: usize,
+        depth: usize,
+        height: usize,
+        width: usize,
+    ) -> Self {
+        Shape {
+            channels: out_channels,
+            filter_channels: in_channels,
+            depth,
+            height,
+            width,
+        }
+    }
+
+    /// Returns a copy of this shape with the filter-channel axis set.
+    pub fn with_filter_channels(mut self, in_channels: usize) -> Self {
+        self.filter_channels = in_channels;
+        self
+    }
+
+    /// Whether the shape represents a filter (it has an input-channel axis).
+    pub fn is_filter(&self) -> bool {
+        self.filter_channels > 0
+    }
+
+    /// Whether the spatial extent is two dimensional (depth of one).
+    pub fn is_2d(&self) -> bool {
+        self.depth == 1
+    }
+
+    /// Number of elements in one channel's spatial volume.
+    pub fn spatial_volume(&self) -> usize {
+        self.depth * self.height * self.width
+    }
+
+    /// Total number of scalar elements described by the shape.
+    pub fn volume(&self) -> usize {
+        let filter_axis = if self.filter_channels == 0 {
+            1
+        } else {
+            self.filter_channels
+        };
+        self.channels * filter_axis * self.spatial_volume()
+    }
+
+    /// Flattens a feature-map coordinate to a linear index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any coordinate is out of range.
+    pub fn index(&self, c: usize, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels, "channel {c} out of {}", self.channels);
+        debug_assert!(z < self.depth, "depth {z} out of {}", self.depth);
+        debug_assert!(y < self.height, "row {y} out of {}", self.height);
+        debug_assert!(x < self.width, "column {x} out of {}", self.width);
+        ((c * self.depth + z) * self.height + y) * self.width + x
+    }
+
+    /// Flattens a filter coordinate (output channel, input channel, z, y, x).
+    pub fn filter_index(&self, co: usize, ci: usize, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(self.is_filter(), "filter_index on a feature-map shape");
+        debug_assert!(co < self.channels && ci < self.filter_channels);
+        (((co * self.filter_channels + ci) * self.depth + z) * self.height + y) * self.width + x
+    }
+
+    /// Inverse of [`Shape::index`]: recovers `(channel, z, y, x)` from a linear index.
+    pub fn coords(&self, mut idx: usize) -> (usize, usize, usize, usize) {
+        let x = idx % self.width;
+        idx /= self.width;
+        let y = idx % self.height;
+        idx /= self.height;
+        let z = idx % self.depth;
+        idx /= self.depth;
+        (idx, z, y, x)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_filter() {
+            write!(
+                f,
+                "{}x{}x{}x{}x{}",
+                self.channels, self.filter_channels, self.depth, self.height, self.width
+            )
+        } else if self.is_2d() {
+            write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+        } else {
+            write!(
+                f,
+                "{}x{}x{}x{}",
+                self.channels, self.depth, self.height, self.width
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_map_volume() {
+        let s = Shape::new_2d(3, 32, 32);
+        assert_eq!(s.volume(), 3 * 32 * 32);
+        assert!(s.is_2d());
+        assert!(!s.is_filter());
+    }
+
+    #[test]
+    fn volumetric_shape() {
+        let s = Shape::new(8, 4, 4, 4);
+        assert!(!s.is_2d());
+        assert_eq!(s.spatial_volume(), 64);
+        assert_eq!(s.volume(), 8 * 64);
+    }
+
+    #[test]
+    fn filter_volume_includes_input_channels() {
+        let s = Shape::filter(16, 8, 1, 5, 5);
+        assert!(s.is_filter());
+        assert_eq!(s.volume(), 16 * 8 * 25);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let s = Shape::new(3, 2, 4, 5);
+        for c in 0..3 {
+            for z in 0..2 {
+                for y in 0..4 {
+                    for x in 0..5 {
+                        let idx = s.index(c, z, y, x);
+                        assert_eq!(s.coords(idx), (c, z, y, x));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let s = Shape::new(2, 3, 4, 5);
+        let mut seen = vec![false; s.volume()];
+        for c in 0..2 {
+            for z in 0..3 {
+                for y in 0..4 {
+                    for x in 0..5 {
+                        let idx = s.index(c, z, y, x);
+                        assert!(!seen[idx]);
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn filter_index_is_dense() {
+        let s = Shape::filter(4, 3, 1, 2, 2);
+        let mut seen = vec![false; s.volume()];
+        for co in 0..4 {
+            for ci in 0..3 {
+                for y in 0..2 {
+                    for x in 0..2 {
+                        let idx = s.filter_index(co, ci, 0, y, x);
+                        assert!(!seen[idx]);
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Shape::new_2d(3, 64, 64).to_string(), "3x64x64");
+        assert_eq!(Shape::new(1, 4, 4, 4).to_string(), "1x4x4x4");
+        assert_eq!(Shape::filter(16, 8, 1, 5, 5).to_string(), "16x8x1x5x5");
+    }
+
+    #[test]
+    fn with_filter_channels_builder() {
+        let s = Shape::new_2d(16, 5, 5).with_filter_channels(8);
+        assert!(s.is_filter());
+        assert_eq!(s.filter_channels, 8);
+    }
+}

@@ -1,0 +1,299 @@
+//! A dense, channel-major tensor of `f32` values.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+
+/// A dense tensor storing `f32` elements in channel-major, row-major order.
+///
+/// Feature maps are indexed by `(channel, z, y, x)`; filters by
+/// `(out_channel, in_channel, z, y, x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.volume()],
+        }
+    }
+
+    /// Creates a tensor with every element set to `value`.
+    pub fn filled(shape: Shape, value: f32) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.volume()],
+        }
+    }
+
+    /// Creates a filter tensor with every element set to `value`.
+    pub fn filled_filter(
+        out_channels: usize,
+        in_channels: usize,
+        depth: usize,
+        height: usize,
+        width: usize,
+        value: f32,
+    ) -> Self {
+        Tensor::filled(
+            Shape::filter(out_channels, in_channels, depth, height, width),
+            value,
+        )
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from the
+    /// shape's volume.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a feature-map tensor by evaluating `f(channel, z, y, x)`.
+    pub fn from_fn<F>(shape: Shape, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize, usize) -> f32,
+    {
+        let mut t = Tensor::zeros(shape);
+        for c in 0..shape.channels {
+            for z in 0..shape.depth {
+                for y in 0..shape.height {
+                    for x in 0..shape.width {
+                        let v = f(c, z, y, x);
+                        t.data[shape.index(c, z, y, x)] = v;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Creates a 2-D feature-map tensor by evaluating `f(channel, y, x)`.
+    pub fn from_fn_2d<F>(channels: usize, height: usize, width: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize) -> f32,
+    {
+        Tensor::from_fn(Shape::new_2d(channels, height, width), |c, _z, y, x| {
+            f(c, y, x)
+        })
+    }
+
+    /// Creates a filter tensor by evaluating `f(out_channel, in_channel, z, y, x)`.
+    pub fn from_filter_fn<F>(shape: Shape, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize, usize, usize) -> f32,
+    {
+        assert!(shape.is_filter(), "from_filter_fn requires a filter shape");
+        let mut t = Tensor::zeros(shape);
+        for co in 0..shape.channels {
+            for ci in 0..shape.filter_channels {
+                for z in 0..shape.depth {
+                    for y in 0..shape.height {
+                        for x in 0..shape.width {
+                            t.data[shape.filter_index(co, ci, z, y, x)] = f(co, ci, z, y, x);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The underlying data in storage order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data in storage order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads a feature-map element.
+    pub fn at(&self, c: usize, z: usize, y: usize, x: usize) -> f32 {
+        self.data[self.shape.index(c, z, y, x)]
+    }
+
+    /// Reads a 2-D feature-map element (depth index 0).
+    pub fn at_2d(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.at(c, 0, y, x)
+    }
+
+    /// Writes a feature-map element.
+    pub fn set(&mut self, c: usize, z: usize, y: usize, x: usize, value: f32) {
+        let idx = self.shape.index(c, z, y, x);
+        self.data[idx] = value;
+    }
+
+    /// Adds `value` to a feature-map element.
+    pub fn add_at(&mut self, c: usize, z: usize, y: usize, x: usize, value: f32) {
+        let idx = self.shape.index(c, z, y, x);
+        self.data[idx] += value;
+    }
+
+    /// Reads a filter element.
+    pub fn at_filter(&self, co: usize, ci: usize, z: usize, y: usize, x: usize) -> f32 {
+        self.data[self.shape.filter_index(co, ci, z, y, x)]
+    }
+
+    /// Writes a filter element.
+    pub fn set_filter(&mut self, co: usize, ci: usize, z: usize, y: usize, x: usize, value: f32) {
+        let idx = self.shape.filter_index(co, ci, z, y, x);
+        self.data[idx] = value;
+    }
+
+    /// Number of elements that are exactly zero.
+    pub fn zero_count(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Fraction of elements that are exactly zero (0.0 for an empty tensor).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.zero_count() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute difference between two tensors of identical shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                context: "max_abs_diff",
+                detail: format!("{} vs {}", self.shape, other.shape),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Returns true when every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        matches!(self.max_abs_diff(other), Ok(d) if d <= tol)
+    }
+
+    /// Applies a scalar function to every element, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|v| f(*v)).collect(),
+        }
+    }
+
+    /// Sum of all elements (useful for quick integrity checks in tests).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|v| *v as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(Shape::new_2d(3, 4, 5));
+        assert_eq!(t.len(), 60);
+        assert!(!t.is_empty());
+        assert_eq!(t.zero_count(), 60);
+        assert_eq!(t.zero_fraction(), 1.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let err = Tensor::from_vec(Shape::new_2d(1, 2, 2), vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+        assert!(Tensor::from_vec(Shape::new_2d(1, 2, 2), vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut t = Tensor::zeros(Shape::new(2, 2, 3, 3));
+        t.set(1, 1, 2, 0, 42.0);
+        assert_eq!(t.at(1, 1, 2, 0), 42.0);
+        t.add_at(1, 1, 2, 0, 1.0);
+        assert_eq!(t.at(1, 1, 2, 0), 43.0);
+    }
+
+    #[test]
+    fn from_fn_2d_matches_coordinates() {
+        let t = Tensor::from_fn_2d(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.at_2d(1, 2, 3), 123.0);
+        assert_eq!(t.at_2d(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn filter_accessors() {
+        let shape = Shape::filter(2, 3, 1, 2, 2);
+        let mut w = Tensor::zeros(shape);
+        w.set_filter(1, 2, 0, 1, 1, 7.0);
+        assert_eq!(w.at_filter(1, 2, 0, 1, 1), 7.0);
+        let w2 = Tensor::from_filter_fn(shape, |co, ci, _z, y, x| (co + ci + y + x) as f32);
+        assert_eq!(w2.at_filter(1, 2, 0, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = Tensor::filled(Shape::new_2d(1, 2, 2), 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1, 1, 1.25);
+        assert!((a.max_abs_diff(&b).unwrap() - 0.25).abs() < 1e-6);
+        assert!(a.approx_eq(&b, 0.3));
+        assert!(!a.approx_eq(&b, 0.1));
+    }
+
+    #[test]
+    fn max_abs_diff_rejects_shape_mismatch() {
+        let a = Tensor::zeros(Shape::new_2d(1, 2, 2));
+        let b = Tensor::zeros(Shape::new_2d(1, 2, 3));
+        assert!(a.max_abs_diff(&b).is_err());
+    }
+
+    #[test]
+    fn map_and_sum() {
+        let t = Tensor::from_fn_2d(1, 2, 2, |_, y, x| (y * 2 + x) as f32);
+        assert_eq!(t.sum(), 6.0);
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.sum(), 12.0);
+    }
+}

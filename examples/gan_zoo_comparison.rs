@@ -1,0 +1,41 @@
+//! Reproduces the headline evaluation sweep: every Table I GAN on both
+//! accelerators (Figures 8 and 11 in one pass).
+//!
+//! ```text
+//! cargo run --release --example gan_zoo_comparison
+//! ```
+
+use ganax::compare::{compare_all, geometric_mean};
+
+fn main() {
+    let comparisons = compare_all();
+
+    println!(
+        "{:<10} {:>9} {:>10} {:>12} {:>12} {:>11}",
+        "Model", "Speedup", "Energy red", "Eyeriss util", "GANAX util", "Disc ratio"
+    );
+    for report in &comparisons {
+        let (eyeriss_util, ganax_util) = report.generator_utilization();
+        println!(
+            "{:<10} {:>8.2}x {:>9.2}x {:>11.1}% {:>11.1}% {:>10.2}x",
+            report.gan_name,
+            report.generator_speedup(),
+            report.generator_energy_reduction(),
+            eyeriss_util * 100.0,
+            ganax_util * 100.0,
+            report.discriminator_speedup(),
+        );
+    }
+
+    let speedup = geometric_mean(comparisons.iter().map(|c| c.generator_speedup()));
+    let energy = geometric_mean(comparisons.iter().map(|c| c.generator_energy_reduction()));
+    println!(
+        "{:<10} {:>8.2}x {:>9.2}x",
+        "Geomean", speedup, energy
+    );
+    println!();
+    println!(
+        "paper reference points: 3.6x geomean speedup, 3.1x geomean energy reduction,"
+    );
+    println!("~90% GANAX PE utilization, ~1.0x on the discriminators.");
+}
