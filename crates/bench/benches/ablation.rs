@@ -65,7 +65,9 @@ fn bench_array_sweep(c: &mut Criterion) {
             num_pvs: pvs,
             pes_per_pv: pes,
         };
-        let eyeriss = EyerissModel::new(config.base).run_network(&gen).total_cycles();
+        let eyeriss = EyerissModel::new(config.base)
+            .run_network(&gen)
+            .total_cycles();
         let ganax = GanaxModel::new(config).run_network(&gen).total_cycles();
         println!(
             "  {:>2} PVs x {:>2} PEs: speedup {:4.2}x  ({} -> {} cycles)",
@@ -86,7 +88,9 @@ fn bench_array_sweep(c: &mut Criterion) {
             pes_per_pv: pes,
         };
         group.bench_function(format!("{pvs}x{pes}"), |b| {
-            b.iter(|| std::hint::black_box(GanaxModel::new(config).run_network(&gen).total_cycles()))
+            b.iter(|| {
+                std::hint::black_box(GanaxModel::new(config).run_network(&gen).total_cycles())
+            })
         });
     }
     group.finish();

@@ -22,7 +22,13 @@ fn bench_fig11(c: &mut Criterion) {
     group.sample_size(10);
     let gen = zoo::gp_gan().generator;
     group.bench_function("eyeriss_utilization", |b| {
-        b.iter(|| std::hint::black_box(EyerissModel::paper().run_network(&gen).average_utilization()))
+        b.iter(|| {
+            std::hint::black_box(
+                EyerissModel::paper()
+                    .run_network(&gen)
+                    .average_utilization(),
+            )
+        })
     });
     group.bench_function("ganax_utilization", |b| {
         b.iter(|| std::hint::black_box(GanaxModel::paper().run_network(&gen).average_utilization()))

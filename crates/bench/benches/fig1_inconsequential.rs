@@ -11,7 +11,11 @@ fn bench_fig1(c: &mut Criterion) {
     let (rows, average) = figure1();
     println!("\nFigure 1 (fraction of inconsequential MACs in TConv layers):");
     for row in &rows {
-        println!("  {:<10} {:5.1}%", row.model, row.inconsequential_fraction * 100.0);
+        println!(
+            "  {:<10} {:5.1}%",
+            row.model,
+            row.inconsequential_fraction * 100.0
+        );
     }
     println!("  {:<10} {:5.1}%", "Average", average * 100.0);
 
@@ -19,9 +23,7 @@ fn bench_fig1(c: &mut Criterion) {
     for gan in zoo::all_models() {
         group.bench_function(&gan.name, |b| {
             b.iter(|| {
-                std::hint::black_box(
-                    gan.generator.op_stats().tconv_inconsequential_fraction(),
-                )
+                std::hint::black_box(gan.generator.op_stats().tconv_inconsequential_fraction())
             })
         });
     }

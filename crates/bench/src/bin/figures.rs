@@ -8,9 +8,7 @@
 
 use ganax::compare::ModelComparison;
 use ganax::GanaxConfig;
-use ganax_bench::{
-    all_comparisons, figure1, figure10, figure11, figure8, figure9, pct, ratio,
-};
+use ganax_bench::{all_comparisons, figure1, figure10, figure11, figure8, figure9, pct, ratio};
 use ganax_energy::{AreaModel, EnergyModel};
 use ganax_models::zoo;
 
@@ -94,11 +92,7 @@ fn print_fig1(json: bool) {
         return;
     }
     for row in &rows {
-        println!(
-            "{:<10} {}",
-            row.model,
-            pct(row.inconsequential_fraction)
-        );
+        println!("{:<10} {}", row.model, pct(row.inconsequential_fraction));
     }
     println!("{:<10} {}", "Average", pct(average));
 }
@@ -127,17 +121,37 @@ fn print_table3() {
         println!("{name:<28} {value:>14.1}");
     }
     println!("{:<28} {:>14.1}", "Total area / PE", area.pe.total());
-    println!("{:<28} {:>14.1}", "Total PE array (16x16)", area.pe_array_area());
-    println!("{:<28} {:>14.1}", "Global uOp buffer", area.global_uop_buffer);
-    println!("{:<28} {:>14.1}", "Global data buffer", area.global_data_buffer);
+    println!(
+        "{:<28} {:>14.1}",
+        "Total PE array (16x16)",
+        area.pe_array_area()
+    );
+    println!(
+        "{:<28} {:>14.1}",
+        "Global uOp buffer", area.global_uop_buffer
+    );
+    println!(
+        "{:<28} {:>14.1}",
+        "Global data buffer", area.global_data_buffer
+    );
     println!(
         "{:<28} {:>14.1}",
         "Global instruction buffer", area.global_instruction_buffer
     );
-    println!("{:<28} {:>14.1}", "NoC + config buffers", area.noc_and_config);
-    println!("{:<28} {:>14.1}", "Global controller", area.global_controller);
+    println!(
+        "{:<28} {:>14.1}",
+        "NoC + config buffers", area.noc_and_config
+    );
+    println!(
+        "{:<28} {:>14.1}",
+        "Global controller", area.global_controller
+    );
     println!("{:<28} {:>14.1}", "GANAX total", area.ganax_total());
-    println!("{:<28} {:>14.1}", "Eyeriss baseline total", area.eyeriss_total());
+    println!(
+        "{:<28} {:>14.1}",
+        "Eyeriss baseline total",
+        area.eyeriss_total()
+    );
     println!(
         "{:<28} {:>13.1}%",
         "GANAX area overhead",
@@ -185,7 +199,10 @@ fn print_fig8(comparisons: &[ModelComparison], json: bool) {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
         return;
     }
-    println!("{:<10} {:>10} {:>18}", "Model", "Speedup", "Energy reduction");
+    println!(
+        "{:<10} {:>10} {:>18}",
+        "Model", "Speedup", "Energy reduction"
+    );
     for row in &rows {
         println!(
             "{:<10} {:>10} {:>18}",
@@ -253,8 +270,7 @@ fn print_fig11(comparisons: &[ModelComparison]) {
             pct(row.ganax_utilization)
         );
     }
-    let avg_e =
-        rows.iter().map(|r| r.eyeriss_utilization).sum::<f64>() / rows.len() as f64;
+    let avg_e = rows.iter().map(|r| r.eyeriss_utilization).sum::<f64>() / rows.len() as f64;
     let avg_g = rows.iter().map(|r| r.ganax_utilization).sum::<f64>() / rows.len() as f64;
     println!("{:<10} {:>10} {:>10}", "Average", pct(avg_e), pct(avg_g));
 }

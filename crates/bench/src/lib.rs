@@ -4,6 +4,14 @@
 //! machinery: run every Table I GAN on both accelerator models and format the
 //! results the way the paper's tables and figures report them. This crate
 //! collects that machinery so the harness entry points stay small.
+//!
+//! ```
+//! // Figure 1: fraction of transposed-convolution MACs that are
+//! // inconsequential (multiply-by-zero), per GAN plus the zoo average.
+//! let (rows, average) = ganax_bench::figure1();
+//! assert_eq!(rows.len(), 6);
+//! assert!(average > 0.5 && average < 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,14 +91,10 @@ pub fn figure1() -> (Vec<Fig1Row>, f64) {
         .iter()
         .map(|gan| Fig1Row {
             model: gan.name.clone(),
-            inconsequential_fraction: gan
-                .generator
-                .op_stats()
-                .tconv_inconsequential_fraction(),
+            inconsequential_fraction: gan.generator.op_stats().tconv_inconsequential_fraction(),
         })
         .collect();
-    let average =
-        rows.iter().map(|r| r.inconsequential_fraction).sum::<f64>() / rows.len() as f64;
+    let average = rows.iter().map(|r| r.inconsequential_fraction).sum::<f64>() / rows.len() as f64;
     (rows, average)
 }
 
@@ -193,7 +197,10 @@ mod tests {
         let comparisons = all_comparisons();
         let (rows, speedup, energy) = figure8(&comparisons);
         assert_eq!(rows.len(), 6);
-        assert!(speedup > 2.0 && speedup < 6.0, "speedup geomean = {speedup}");
+        assert!(
+            speedup > 2.0 && speedup < 6.0,
+            "speedup geomean = {speedup}"
+        );
         assert!(energy > 1.8 && energy < 6.0, "energy geomean = {energy}");
     }
 
@@ -218,7 +225,11 @@ mod tests {
     fn figure11_shows_ganax_above_eyeriss() {
         let comparisons = all_comparisons();
         for row in figure11(&comparisons) {
-            assert!(row.ganax_utilization > row.eyeriss_utilization, "{}", row.model);
+            assert!(
+                row.ganax_utilization > row.eyeriss_utilization,
+                "{}",
+                row.model
+            );
         }
     }
 

@@ -1,4 +1,25 @@
 //! GANAX-vs-Eyeriss comparison reports: the numbers behind Figures 8–11.
+//!
+//! The central type is [`ModelComparison`]: it runs one Table I GAN on both
+//! accelerator models and exposes every derived metric the paper plots.
+//!
+//! ```
+//! use ganax::compare::{geometric_mean, ModelComparison};
+//! use ganax_models::zoo;
+//!
+//! // Figure 8, one bar: DCGAN's generator on GANAX vs. Eyeriss.
+//! let report = ModelComparison::compare(&zoo::dcgan());
+//! assert!(report.generator_speedup() > 2.0);
+//! assert!(report.generator_energy_reduction() > 1.5);
+//!
+//! // The discriminator is conventional convolution, so GANAX matches the
+//! // baseline there instead of beating it.
+//! assert!((report.discriminator_speedup() - 1.0).abs() < 0.05);
+//!
+//! // The "Geomean" column combines per-model ratios.
+//! let geomean = geometric_mean([report.generator_speedup(); 2]);
+//! assert!((geomean - report.generator_speedup()).abs() < 1e-9);
+//! ```
 
 use ganax_energy::{EnergyBreakdown, EnergyCategory};
 use ganax_eyeriss::{EyerissModel, NetworkStats};
@@ -50,7 +71,11 @@ impl ModelComparison {
     /// Figure 8b: energy reduction of the generative model.
     pub fn generator_energy_reduction(&self) -> f64 {
         self.eyeriss_generator.total_energy().total_pj()
-            / self.ganax_generator.total_energy().total_pj().max(f64::MIN_POSITIVE)
+            / self
+                .ganax_generator
+                .total_energy()
+                .total_pj()
+                .max(f64::MIN_POSITIVE)
     }
 
     /// Speedup of the discriminative model (expected ≈ 1.0).
@@ -111,13 +136,7 @@ impl ModelComparison {
         let total = eyeriss.total_pj();
         EnergyCategory::ALL
             .iter()
-            .map(|c| {
-                (
-                    *c,
-                    eyeriss.category(*c) / total,
-                    ganax.category(*c) / total,
-                )
-            })
+            .map(|c| (*c, eyeriss.category(*c) / total, ganax.category(*c) / total))
             .collect()
     }
 

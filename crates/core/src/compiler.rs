@@ -85,7 +85,10 @@ impl GanaxCompiler {
     ) {
         let num_pvs = program.num_pvs();
         let groups = geometry.phase_groups();
-        assert!(!groups.is_empty(), "transposed layer must have phase groups");
+        assert!(
+            !groups.is_empty(),
+            "transposed layer must have phase groups"
+        );
         // PVs are assigned to phase groups round-robin, which is exactly the
         // forced adjacency of the output-row reorganization: PVs processing
         // rows with the same zero pattern sit next to each other.
@@ -120,7 +123,13 @@ impl GanaxCompiler {
             .collect();
         let repeats: Vec<ExecUop> = macs
             .iter()
-            .map(|m| if *m == ExecUop::Nop { ExecUop::Nop } else { ExecUop::Repeat })
+            .map(|m| {
+                if *m == ExecUop::Nop {
+                    ExecUop::Nop
+                } else {
+                    ExecUop::Repeat
+                }
+            })
             .collect();
         program
             .push_mimd(&repeats)
@@ -288,10 +297,7 @@ mod tests {
             let words = compiler().encode_global_sequence(&program);
             assert_eq!(words.len(), program.global_sequence.len());
             for (word, uop) in words.iter().zip(&program.global_sequence) {
-                assert_eq!(
-                    &GlobalUop::decode(*word, program.num_pvs()).unwrap(),
-                    uop
-                );
+                assert_eq!(&GlobalUop::decode(*word, program.num_pvs()).unwrap(), uop);
             }
         }
     }
@@ -315,7 +321,10 @@ mod tests {
         )
         .unwrap();
         let a = compiler().compile_layer(&with_act).stats().global_entries;
-        let b = compiler().compile_layer(&without_act).stats().global_entries;
+        let b = compiler()
+            .compile_layer(&without_act)
+            .stats()
+            .global_entries;
         assert_eq!(a, b + 1);
     }
 

@@ -163,9 +163,7 @@ impl GanaxMachine {
                 let ky_taps: Vec<usize> = match &geometry.height_phases {
                     Some(phases) if layer.is_tconv() => phases.taps_at(oy),
                     _ => (0..params.kernel.1)
-                        .filter(|ky| {
-                            conv_input_row(oy, *ky, &params, layer.input.height).is_some()
-                        })
+                        .filter(|ky| conv_input_row(oy, *ky, &params, layer.input.height).is_some())
                         .collect(),
                 };
                 for &ky in &ky_taps {
@@ -328,12 +326,7 @@ fn input_row_for(oy: usize, ky: usize, params: &ConvParams, input_height: usize)
 
 /// Input row of a conventional convolution tap, or `None` when it lands in the
 /// padding.
-fn conv_input_row(
-    oy: usize,
-    ky: usize,
-    params: &ConvParams,
-    input_height: usize,
-) -> Option<usize> {
+fn conv_input_row(oy: usize, ky: usize, params: &ConvParams, input_height: usize) -> Option<usize> {
     let pos = (oy * params.stride.1 + ky) as isize - params.padding.1 as isize;
     if pos >= 0 && (pos as usize) < input_height {
         Some(pos as usize)

@@ -101,7 +101,11 @@ impl GanaxModel {
                         .iter()
                         .map(|g| g.num_rows as f64 * g.consequential_nodes as f64)
                         .sum::<f64>()
-                        / groups.iter().map(|g| g.num_rows as f64).sum::<f64>().max(1.0);
+                        / groups
+                            .iter()
+                            .map(|g| g.num_rows as f64)
+                            .sum::<f64>()
+                            .max(1.0);
                     let penalty = (max_nodes / avg_nodes.max(1.0)).max(1.0);
                     let stretched = (schedule.schedule_cycles as f64 * penalty) as u64;
                     schedule.schedule_cycles = stretched.min(dense.schedule_cycles);

@@ -79,7 +79,9 @@ impl ScheduleEstimate {
     /// PE utilization: the fraction of PE-cycles over the whole schedule that
     /// perform consequential work (Figure 11's metric).
     pub fn utilization(&self, array: ArrayConfig) -> f64 {
-        let capacity = self.schedule_cycles.saturating_mul(array.total_pes() as u64);
+        let capacity = self
+            .schedule_cycles
+            .saturating_mul(array.total_pes() as u64);
         if capacity == 0 {
             return 0.0;
         }
@@ -202,8 +204,7 @@ mod tests {
         let array = ArrayConfig::paper();
         let conventional = ScheduleEstimate::estimate(&geo, array, DataflowMode::Conventional);
         let reorganized = ScheduleEstimate::estimate(&geo, array, DataflowMode::Reorganized);
-        let speedup =
-            conventional.schedule_cycles as f64 / reorganized.schedule_cycles as f64;
+        let speedup = conventional.schedule_cycles as f64 / reorganized.schedule_cycles as f64;
         assert!(speedup > 1.5, "speedup = {speedup}");
         assert!(speedup < 6.0, "speedup = {speedup}");
         assert!(reorganized.productive_pe_cycles <= reorganized.occupied_pe_cycles);

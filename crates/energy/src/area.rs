@@ -163,7 +163,11 @@ mod tests {
     fn pe_total_matches_table_iii() {
         let pe = PeAreaBreakdown::table_iii();
         // Table III reports 29 471.6 um^2 per PE.
-        assert!((pe.total() - 29_471.6).abs() < 1.0, "total = {}", pe.total());
+        assert!(
+            (pe.total() - 29_471.6).abs() < 1.0,
+            "total = {}",
+            pe.total()
+        );
     }
 
     #[test]

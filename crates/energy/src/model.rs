@@ -85,8 +85,8 @@ impl EnergyModel {
     /// Charges a set of event counts against the model, producing the
     /// per-category energy breakdown used by Figure 10.
     pub fn energy(&self, counts: &EventCounts) -> EnergyBreakdown {
-        let pe = counts.alu_ops as f64 * self.pe_op_pj()
-            + counts.gated_ops as f64 * self.gated_op_pj();
+        let pe =
+            counts.alu_ops as f64 * self.pe_op_pj() + counts.gated_ops as f64 * self.gated_op_pj();
         let regf = (counts.register_file_reads + counts.register_file_writes) as f64
             * self.register_file_access_pj();
         let noc = counts.inter_pe_transfers as f64 * self.inter_pe_transfer_pj();
@@ -94,8 +94,7 @@ impl EnergyModel {
             * self.global_buffer_access_pj()
             + (counts.global_uop_fetches + counts.local_uop_fetches) as f64
                 * self.global_buffer_access_pj();
-        let dram =
-            (counts.dram_reads + counts.dram_writes) as f64 * self.dram_access_pj();
+        let dram = (counts.dram_reads + counts.dram_writes) as f64 * self.dram_access_pj();
         EnergyBreakdown {
             pe_pj: pe,
             register_file_pj: regf,
@@ -176,7 +175,12 @@ mod tests {
         assert!((b.noc_pj - 5.0 * m.inter_pe_transfer_pj()).abs() < 1e-9);
         assert!((b.global_buffer_pj - 16.0 * m.global_buffer_access_pj()).abs() < 1e-9);
         assert!((b.dram_pj - 2.0 * m.dram_access_pj()).abs() < 1e-9);
-        assert!((b.total_pj() - (b.pe_pj + b.register_file_pj + b.noc_pj + b.global_buffer_pj + b.dram_pj)).abs() < 1e-9);
+        assert!(
+            (b.total_pj()
+                - (b.pe_pj + b.register_file_pj + b.noc_pj + b.global_buffer_pj + b.dram_pj))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -40,8 +40,7 @@ impl EyerissModel {
         let geometry = LayerGeometry::for_layer(layer);
         let schedule =
             ScheduleEstimate::estimate(&geometry, self.config.array, DataflowMode::Conventional);
-        let traffic =
-            TrafficModel::layer_traffic(&geometry, &schedule, DataflowMode::Conventional);
+        let traffic = TrafficModel::layer_traffic(&geometry, &schedule, DataflowMode::Conventional);
 
         // Zero gating: consequential MACs pay the full PE energy, the rest are
         // gated (detected and suppressed) but still occupy their cycle.
@@ -111,7 +110,11 @@ mod tests {
         assert!(tconv.counts.gated_ops > 0);
         assert!(tconv.counts.gated_ops > tconv.counts.alu_ops);
         // Utilization suffers accordingly.
-        assert!(tconv.utilization < 0.5, "utilization = {}", tconv.utilization);
+        assert!(
+            tconv.utilization < 0.5,
+            "utilization = {}",
+            tconv.utilization
+        );
     }
 
     #[test]

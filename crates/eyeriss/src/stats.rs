@@ -72,7 +72,11 @@ impl NetworkStats {
 
     /// Cycles spent in transposed-convolution layers.
     pub fn tconv_cycles(&self) -> u64 {
-        self.layers.iter().filter(|l| l.is_tconv).map(|l| l.cycles).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.is_tconv)
+            .map(|l| l.cycles)
+            .sum()
     }
 
     /// Energy spent in transposed-convolution layers.

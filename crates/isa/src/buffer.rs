@@ -40,7 +40,10 @@ impl fmt::Display for BufferError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BufferError::CapacityExceeded { capacity, supplied } => {
-                write!(f, "buffer holds {capacity} entries but {supplied} were supplied")
+                write!(
+                    f,
+                    "buffer holds {capacity} entries but {supplied} were supplied"
+                )
             }
             BufferError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for {len} loaded entries")
@@ -265,31 +268,38 @@ mod tests {
     #[test]
     fn global_buffer_double_buffering() {
         let mut buf = GlobalUopBuffer::new();
-        let layer1 =
-            vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Mac), 16).unwrap(); 3];
-        let layer2 =
-            vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Act), 16).unwrap(); 2];
+        let layer1 = vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Mac), 16).unwrap(); 3];
+        let layer2 = vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Act), 16).unwrap(); 2];
 
         buf.load_next(&layer1).unwrap();
         buf.swap();
         assert_eq!(buf.active_len(), 3);
         // While layer 1 executes, layer 2 is loaded into the other bank.
         buf.load_next(&layer2).unwrap();
-        assert_eq!(buf.active_len(), 3, "loading must not disturb the active bank");
+        assert_eq!(
+            buf.active_len(),
+            3,
+            "loading must not disturb the active bank"
+        );
         let word = buf.fetch(0).unwrap();
-        assert_eq!(GlobalUop::decode(word, 16).unwrap(), GlobalUop::Simd(ExecUop::Mac));
+        assert_eq!(
+            GlobalUop::decode(word, 16).unwrap(),
+            GlobalUop::Simd(ExecUop::Mac)
+        );
 
         buf.swap();
         assert_eq!(buf.active_len(), 2);
         let word = buf.fetch(0).unwrap();
-        assert_eq!(GlobalUop::decode(word, 16).unwrap(), GlobalUop::Simd(ExecUop::Act));
+        assert_eq!(
+            GlobalUop::decode(word, 16).unwrap(),
+            GlobalUop::Simd(ExecUop::Act)
+        );
     }
 
     #[test]
     fn global_buffer_capacity_enforced() {
         let mut buf = GlobalUopBuffer::new();
-        let too_many =
-            vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Nop), 16).unwrap(); 33];
+        let too_many = vec![GlobalUopWord::encode(&GlobalUop::Simd(ExecUop::Nop), 16).unwrap(); 33];
         assert!(matches!(
             buf.load_next(&too_many),
             Err(BufferError::CapacityExceeded { .. })

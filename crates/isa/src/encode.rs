@@ -48,7 +48,10 @@ impl fmt::Display for EncodeError {
                 write!(f, "local uop index {index} does not fit in 4 bits")
             }
             EncodeError::TooManyPvs { pvs } => {
-                write!(f, "{pvs} PVs exceed the 16 addressable by a 64-bit global uop")
+                write!(
+                    f,
+                    "{pvs} PVs exceed the 16 addressable by a 64-bit global uop"
+                )
             }
             EncodeError::InvalidOpcode { opcode } => {
                 write!(f, "invalid execute uop opcode {opcode}")
@@ -127,8 +130,7 @@ impl GlobalUop {
         }
         if word.simd_mode {
             let opcode = (word.payload & 0xF) as u8;
-            let exec = ExecUop::from_opcode(opcode)
-                .ok_or(EncodeError::InvalidOpcode { opcode })?;
+            let exec = ExecUop::from_opcode(opcode).ok_or(EncodeError::InvalidOpcode { opcode })?;
             Ok(GlobalUop::Simd(exec))
         } else {
             Ok(GlobalUop::MimdExe(

@@ -109,17 +109,8 @@ impl LayerProgram {
             access_uops: self.access_setup.len(),
             register_uops: self.register_setup.len(),
             global_entries: self.global_sequence.len(),
-            simd_entries: self
-                .global_sequence
-                .iter()
-                .filter(|u| u.is_simd())
-                .count(),
-            max_local_entries: self
-                .local_images
-                .iter()
-                .map(Vec::len)
-                .max()
-                .unwrap_or(0),
+            simd_entries: self.global_sequence.iter().filter(|u| u.is_simd()).count(),
+            max_local_entries: self.local_images.iter().map(Vec::len).max().unwrap_or(0),
         }
     }
 }

@@ -16,7 +16,8 @@ pub enum AddrGenKind {
 
 impl AddrGenKind {
     /// All generator kinds, in the order used when indexing generator arrays.
-    pub const ALL: [AddrGenKind; 3] = [AddrGenKind::Input, AddrGenKind::Weight, AddrGenKind::Output];
+    pub const ALL: [AddrGenKind; 3] =
+        [AddrGenKind::Input, AddrGenKind::Weight, AddrGenKind::Output];
 
     /// Stable index of the generator within a PE's access µ-engine.
     pub fn index(self) -> usize {
@@ -102,9 +103,9 @@ impl AccessUop {
     /// The processing vector this µop targets.
     pub fn pv(&self) -> u8 {
         match self {
-            AccessUop::Cfg { pv, .. } | AccessUop::Start { pv, .. } | AccessUop::Stop { pv, .. } => {
-                *pv
-            }
+            AccessUop::Cfg { pv, .. }
+            | AccessUop::Start { pv, .. }
+            | AccessUop::Stop { pv, .. } => *pv,
         }
     }
 }
@@ -289,8 +290,22 @@ mod tests {
             imm: 7,
         };
         assert_eq!(cfg.pv(), 3);
-        assert_eq!(AccessUop::Start { pv: 9, gen: AddrGenKind::Input }.pv(), 9);
-        assert_eq!(AccessUop::Stop { pv: 15, gen: AddrGenKind::Output }.pv(), 15);
+        assert_eq!(
+            AccessUop::Start {
+                pv: 9,
+                gen: AddrGenKind::Input
+            }
+            .pv(),
+            9
+        );
+        assert_eq!(
+            AccessUop::Stop {
+                pv: 15,
+                gen: AddrGenKind::Output
+            }
+            .pv(),
+            15
+        );
     }
 
     #[test]

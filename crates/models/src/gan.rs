@@ -65,12 +65,27 @@ mod tests {
     fn toy_gan() -> GanModel {
         let generator = NetworkBuilder::new("toy-gen", Shape::new_2d(16, 1, 1))
             .projection("project", Shape::new_2d(32, 4, 4), Activation::Relu)
-            .tconv("up", 3, ConvParams::transposed_2d(4, 2, 1), Activation::Tanh)
+            .tconv(
+                "up",
+                3,
+                ConvParams::transposed_2d(4, 2, 1),
+                Activation::Tanh,
+            )
             .build()
             .unwrap();
         let discriminator = NetworkBuilder::new("toy-disc", Shape::new_2d(3, 8, 8))
-            .conv("down", 32, ConvParams::conv_2d(4, 2, 1), Activation::LeakyRelu)
-            .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+            .conv(
+                "down",
+                32,
+                ConvParams::conv_2d(4, 2, 1),
+                Activation::LeakyRelu,
+            )
+            .conv(
+                "score",
+                1,
+                ConvParams::conv_2d(4, 1, 0),
+                Activation::Sigmoid,
+            )
             .build()
             .unwrap();
         GanModel::new("ToyGAN", 2024, "test model", generator, discriminator)

@@ -283,14 +283,22 @@ mod tests {
 
     #[test]
     fn network_rejects_empty() {
-        assert_eq!(Network::new("none", vec![]).unwrap_err(), NetworkError::Empty);
+        assert_eq!(
+            Network::new("none", vec![]).unwrap_err(),
+            NetworkError::Empty
+        );
     }
 
     #[test]
     fn builder_chains_shapes() {
         let net = NetworkBuilder::new("gen", Shape::new_2d(100, 1, 1))
             .projection("project", Shape::new_2d(64, 4, 4), Activation::Relu)
-            .tconv("up1", 32, ConvParams::transposed_2d(4, 2, 1), Activation::Relu)
+            .tconv(
+                "up1",
+                32,
+                ConvParams::transposed_2d(4, 2, 1),
+                Activation::Relu,
+            )
             .conv("smooth", 16, ConvParams::conv_2d(3, 1, 1), Activation::Relu)
             .build()
             .unwrap();
@@ -306,10 +314,7 @@ mod tests {
         let result = NetworkBuilder::new("broken", Shape::new_2d(3, 2, 2))
             .conv("too-big", 8, ConvParams::conv_2d(7, 1, 0), Activation::Relu)
             .build();
-        assert!(matches!(
-            result,
-            Err(NetworkError::InvalidGeometry { .. })
-        ));
+        assert!(matches!(result, Err(NetworkError::InvalidGeometry { .. })));
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub fn art_gan() -> GanModel {
         .tconv("tconv2", 256, up5(), Activation::Relu)
         .tconv("tconv3", 128, up5(), Activation::Relu)
         .tconv("tconv4", 64, up5(), Activation::Relu)
-        .tconv("refine", 3, ConvParams::transposed_2d(5, 1, 2), Activation::Tanh)
+        .tconv(
+            "refine",
+            3,
+            ConvParams::transposed_2d(5, 1, 2),
+            Activation::Tanh,
+        )
         .build()
         .expect("ArtGAN generator geometry is valid");
 
@@ -38,8 +43,18 @@ pub fn art_gan() -> GanModel {
         .conv("conv2", 128, down5(), Activation::LeakyRelu)
         .conv("conv3", 256, down5(), Activation::LeakyRelu)
         .conv("conv4", 512, down5(), Activation::LeakyRelu)
-        .conv("conv5", 512, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
-        .conv("classify", 11, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .conv(
+            "conv5",
+            512,
+            ConvParams::conv_2d(3, 1, 1),
+            Activation::LeakyRelu,
+        )
+        .conv(
+            "classify",
+            11,
+            ConvParams::conv_2d(4, 1, 0),
+            Activation::Sigmoid,
+        )
         .build()
         .expect("ArtGAN discriminator geometry is valid");
 

@@ -38,7 +38,12 @@ pub fn dcgan() -> GanModel {
         .conv("conv2", 128, down5(), Activation::LeakyRelu)
         .conv("conv3", 256, down5(), Activation::LeakyRelu)
         .conv("conv4", 512, down5(), Activation::LeakyRelu)
-        .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .conv(
+            "score",
+            1,
+            ConvParams::conv_2d(4, 1, 0),
+            Activation::Sigmoid,
+        )
         .build()
         .expect("DCGAN discriminator geometry is valid");
 

@@ -29,7 +29,12 @@ pub fn disco_gan() -> GanModel {
         .conv("enc2", 128, down4(), Activation::LeakyRelu)
         .conv("enc3", 256, down4(), Activation::LeakyRelu)
         .conv("enc4", 512, down4(), Activation::LeakyRelu)
-        .conv("bottleneck", 512, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
+        .conv(
+            "bottleneck",
+            512,
+            ConvParams::conv_2d(3, 1, 1),
+            Activation::LeakyRelu,
+        )
         .tconv("dec1", 256, up4(), Activation::Relu)
         .tconv("dec2", 128, up4(), Activation::Relu)
         .tconv("dec3", 64, up4(), Activation::Relu)
@@ -42,7 +47,12 @@ pub fn disco_gan() -> GanModel {
         .conv("conv2", 128, down4(), Activation::LeakyRelu)
         .conv("conv3", 256, down4(), Activation::LeakyRelu)
         .conv("conv4", 512, down4(), Activation::LeakyRelu)
-        .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .conv(
+            "score",
+            1,
+            ConvParams::conv_2d(4, 1, 0),
+            Activation::Sigmoid,
+        )
         .build()
         .expect("DiscoGAN discriminator geometry is valid");
 

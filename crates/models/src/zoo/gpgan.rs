@@ -38,7 +38,12 @@ pub fn gp_gan() -> GanModel {
         .conv("conv2", 128, down4(), Activation::LeakyRelu)
         .conv("conv3", 256, down4(), Activation::LeakyRelu)
         .conv("conv4", 512, down4(), Activation::LeakyRelu)
-        .conv("score", 1, ConvParams::conv_2d(4, 1, 0), Activation::Sigmoid)
+        .conv(
+            "score",
+            1,
+            ConvParams::conv_2d(4, 1, 0),
+            Activation::Sigmoid,
+        )
         .build()
         .expect("GP-GAN discriminator geometry is valid");
 

@@ -47,8 +47,18 @@ pub fn magan() -> GanModel {
         .conv("enc2", 64, down4(), Activation::LeakyRelu)
         .conv("enc3", 128, down4(), Activation::LeakyRelu)
         .conv("enc4", 256, down4(), Activation::LeakyRelu)
-        .conv("enc5", 256, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
-        .conv("enc6", 256, ConvParams::conv_2d(3, 1, 1), Activation::LeakyRelu)
+        .conv(
+            "enc5",
+            256,
+            ConvParams::conv_2d(3, 1, 1),
+            Activation::LeakyRelu,
+        )
+        .conv(
+            "enc6",
+            256,
+            ConvParams::conv_2d(3, 1, 1),
+            Activation::LeakyRelu,
+        )
         .tconv("dec1", 128, up4(), Activation::Relu)
         .tconv("dec2", 64, up4(), Activation::Relu)
         .tconv("dec3", 32, up4(), Activation::Relu)

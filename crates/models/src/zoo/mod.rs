@@ -116,10 +116,7 @@ mod tests {
         let magan = frac("MAGAN");
         assert!(three_d > 0.78, "3D-GAN fraction = {three_d}");
         for model in &models {
-            let f = model
-                .generator
-                .op_stats()
-                .tconv_inconsequential_fraction();
+            let f = model.generator.op_stats().tconv_inconsequential_fraction();
             assert!(f <= three_d + 1e-9, "{} exceeds 3D-GAN", model.name);
             assert!(f >= magan - 1e-9, "{} below MAGAN", model.name);
         }

@@ -38,7 +38,12 @@ pub fn three_d_gan() -> GanModel {
         .conv("conv2", 128, down4_3d(), Activation::LeakyRelu)
         .conv("conv3", 256, down4_3d(), Activation::LeakyRelu)
         .conv("conv4", 512, down4_3d(), Activation::LeakyRelu)
-        .conv("score", 1, ConvParams::conv_3d(4, 1, 0), Activation::Sigmoid)
+        .conv(
+            "score",
+            1,
+            ConvParams::conv_3d(4, 1, 0),
+            Activation::Sigmoid,
+        )
         .build()
         .expect("3D-GAN discriminator geometry is valid");
 
@@ -58,7 +63,10 @@ mod tests {
     #[test]
     fn generator_produces_64_cubed_volume() {
         let out = three_d_gan().generator.output_shape();
-        assert_eq!((out.channels, out.depth, out.height, out.width), (1, 64, 64, 64));
+        assert_eq!(
+            (out.channels, out.depth, out.height, out.width),
+            (1, 64, 64, 64)
+        );
     }
 
     #[test]
@@ -81,6 +89,9 @@ mod tests {
         let model = three_d_gan();
         assert!(!model.discriminator.input_shape().is_2d());
         let out = model.discriminator.output_shape();
-        assert_eq!((out.channels, out.depth, out.height, out.width), (1, 1, 1, 1));
+        assert_eq!(
+            (out.channels, out.depth, out.height, out.width),
+            (1, 1, 1, 1)
+        );
     }
 }

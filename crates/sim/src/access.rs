@@ -76,7 +76,9 @@ impl AccessEngine {
 
     /// Whether any generator is still producing addresses.
     pub fn any_running(&self) -> bool {
-        self.generators.iter().any(StridedIndexGenerator::is_running)
+        self.generators
+            .iter()
+            .any(StridedIndexGenerator::is_running)
     }
 
     /// Advances the engine by one cycle: every running generator emits one

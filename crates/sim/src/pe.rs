@@ -219,7 +219,8 @@ impl ProcessingEngine {
         let uop = self.execute.current_uop().expect("busy engine has a uop");
         let needs_weight = uop.source_operands() == 2;
         let will_write = uop.writes_destination()
-            && (self.execute.remaining_repeats() == 1 || matches!(uop, ExecUop::Add | ExecUop::Mul | ExecUop::Act));
+            && (self.execute.remaining_repeats() == 1
+                || matches!(uop, ExecUop::Add | ExecUop::Mul | ExecUop::Act));
         if self.access.fifo(AddrGenKind::Input).is_empty() {
             return false;
         }

@@ -18,7 +18,9 @@ impl ProcessingVector {
     /// Creates a PV of `num_pes` identical PEs.
     pub fn new(num_pes: usize, config: PeConfig) -> Self {
         ProcessingVector {
-            pes: (0..num_pes).map(|_| ProcessingEngine::new(config)).collect(),
+            pes: (0..num_pes)
+                .map(|_| ProcessingEngine::new(config))
+                .collect(),
             local_uops: LocalUopBuffer::new(),
         }
     }
@@ -146,7 +148,8 @@ mod tests {
     #[test]
     fn dispatch_local_fetches_from_the_local_buffer() {
         let mut pv = loaded_pv();
-        pv.load_local_uops(&[ExecUop::Repeat, ExecUop::Mac]).unwrap();
+        pv.load_local_uops(&[ExecUop::Repeat, ExecUop::Mac])
+            .unwrap();
         assert_eq!(pv.dispatch_local(0).unwrap(), ExecUop::Repeat);
         assert_eq!(pv.dispatch_local(1).unwrap(), ExecUop::Mac);
         pv.run_until_idle(1_000);

@@ -266,8 +266,9 @@ mod tests {
         // A single input pixel with value 2 and a 3x3 kernel, stride 1, no
         // padding: the output is just the kernel scaled by 2.
         let input = Tensor::filled(Shape::new_2d(1, 1, 1), 2.0);
-        let weight =
-            Tensor::from_filter_fn(Shape::filter(1, 1, 1, 3, 3), |_, _, _, y, x| (y * 3 + x) as f32);
+        let weight = Tensor::from_filter_fn(Shape::filter(1, 1, 1, 3, 3), |_, _, _, y, x| {
+            (y * 3 + x) as f32
+        });
         let params = ConvParams::transposed_2d(3, 1, 0);
         let out = tconv(&input, &weight, &params).unwrap();
         assert_eq!(out.shape(), Shape::new(1, 1, 3, 3));

@@ -50,7 +50,10 @@ impl fmt::Display for TensorError {
                 write!(f, "operation would produce an empty output: {detail}")
             }
             TensorError::OutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
         }
     }

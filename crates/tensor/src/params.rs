@@ -105,11 +105,7 @@ impl ConvParams {
     pub fn inserted_zeros(&self) -> (usize, usize, usize) {
         match self.kind {
             ConvKind::Conventional => (0, 0, 0),
-            ConvKind::Transposed => (
-                self.stride.0 - 1,
-                self.stride.1 - 1,
-                self.stride.2 - 1,
-            ),
+            ConvKind::Transposed => (self.stride.0 - 1, self.stride.1 - 1, self.stride.2 - 1),
         }
     }
 

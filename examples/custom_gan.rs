@@ -15,25 +15,81 @@ fn main() {
     // Generator: latent vector -> 128x128 RGB image.
     let generator = NetworkBuilder::new("custom-generator", Shape::new_2d(128, 1, 1))
         .projection("project", Shape::new_2d(512, 8, 8), Activation::Relu)
-        .tconv("up1", 256, ConvParams::transposed_2d(4, 2, 1), Activation::Relu)
-        .tconv("up2", 128, ConvParams::transposed_2d(4, 2, 1), Activation::Relu)
-        .tconv("refine", 128, ConvParams::transposed_2d(3, 1, 1), Activation::Relu)
-        .tconv("up3", 64, ConvParams::transposed_2d(4, 2, 1), Activation::Relu)
-        .tconv("up4", 3, ConvParams::transposed_2d(4, 2, 1), Activation::Tanh)
+        .tconv(
+            "up1",
+            256,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::Relu,
+        )
+        .tconv(
+            "up2",
+            128,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::Relu,
+        )
+        .tconv(
+            "refine",
+            128,
+            ConvParams::transposed_2d(3, 1, 1),
+            Activation::Relu,
+        )
+        .tconv(
+            "up3",
+            64,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::Relu,
+        )
+        .tconv(
+            "up4",
+            3,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::Tanh,
+        )
         .build()
         .expect("generator geometry is valid");
 
     // Discriminator: 128x128 RGB image -> real/fake score.
     let discriminator = NetworkBuilder::new("custom-discriminator", Shape::new_2d(3, 128, 128))
-        .conv("down1", 64, ConvParams::conv_2d(4, 2, 1), Activation::LeakyRelu)
-        .conv("down2", 128, ConvParams::conv_2d(4, 2, 1), Activation::LeakyRelu)
-        .conv("down3", 256, ConvParams::conv_2d(4, 2, 1), Activation::LeakyRelu)
-        .conv("down4", 512, ConvParams::conv_2d(4, 2, 1), Activation::LeakyRelu)
-        .conv("score", 1, ConvParams::conv_2d(8, 1, 0), Activation::Sigmoid)
+        .conv(
+            "down1",
+            64,
+            ConvParams::conv_2d(4, 2, 1),
+            Activation::LeakyRelu,
+        )
+        .conv(
+            "down2",
+            128,
+            ConvParams::conv_2d(4, 2, 1),
+            Activation::LeakyRelu,
+        )
+        .conv(
+            "down3",
+            256,
+            ConvParams::conv_2d(4, 2, 1),
+            Activation::LeakyRelu,
+        )
+        .conv(
+            "down4",
+            512,
+            ConvParams::conv_2d(4, 2, 1),
+            Activation::LeakyRelu,
+        )
+        .conv(
+            "score",
+            1,
+            ConvParams::conv_2d(8, 1, 0),
+            Activation::Sigmoid,
+        )
         .build()
         .expect("discriminator geometry is valid");
 
-    let gan = GanModel::new("CustomGAN", 2026, "user-defined 128x128 generator", generator, discriminator);
+    let gan = GanModel::new(
+        "CustomGAN",
+        2026,
+        "user-defined 128x128 generator",
+        generator,
+        discriminator,
+    );
 
     println!("custom GAN: {}", gan.name);
     println!(
@@ -65,7 +121,10 @@ fn main() {
     }
 
     let report = ModelComparison::compare(&gan);
-    println!("\n  generator speedup        : {:.2}x", report.generator_speedup());
+    println!(
+        "\n  generator speedup        : {:.2}x",
+        report.generator_speedup()
+    );
     println!(
         "  generator energy saving  : {:.2}x",
         report.generator_energy_reduction()

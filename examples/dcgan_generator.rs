@@ -26,10 +26,7 @@ fn main() {
         Activation::Relu,
     )
     .expect("layer geometry is valid");
-    println!(
-        "layer {}: {} -> {}",
-        layer.name, layer.input, layer.output
-    );
+    println!("layer {}: {} -> {}", layer.name, layer.input, layer.output);
     println!(
         "  dense MACs {}, consequential MACs {} ({:.1}% skippable)",
         layer.dense_macs(),
@@ -50,11 +47,12 @@ fn main() {
     );
 
     // Execute it on the cycle-level machine with random-ish data.
-    let input = Tensor::from_fn_2d(8, 8, 8, |c, y, x| ((c * 31 + y * 7 + x) % 13) as f32 * 0.1 - 0.6);
-    let weights = Tensor::from_filter_fn(
-        Shape::filter(4, 8, 1, 5, 5),
-        |co, ci, _z, y, x| ((co * 17 + ci * 5 + y * 3 + x) % 11) as f32 * 0.05 - 0.25,
-    );
+    let input = Tensor::from_fn_2d(8, 8, 8, |c, y, x| {
+        ((c * 31 + y * 7 + x) % 13) as f32 * 0.1 - 0.6
+    });
+    let weights = Tensor::from_filter_fn(Shape::filter(4, 8, 1, 5, 5), |co, ci, _z, y, x| {
+        ((co * 17 + ci * 5 + y * 3 + x) % 11) as f32 * 0.05 - 0.25
+    });
     let machine = GanaxMachine::paper();
     let run = machine
         .execute_layer(&layer, &input, &weights)
@@ -63,12 +61,12 @@ fn main() {
     // Validate against the functional reference.
     let params = ConvParams::transposed_2d(5, 2, 2).with_output_padding(0, 1, 1);
     let reference = tconv(&input, &weights, &params).expect("reference tconv");
-    let max_diff = run
-        .output
-        .max_abs_diff(&reference)
-        .expect("shapes match");
+    let max_diff = run.output.max_abs_diff(&reference).expect("shapes match");
     println!("  max |machine - reference| = {max_diff:.2e}");
-    assert!(max_diff < 1e-3, "machine output diverged from the reference");
+    assert!(
+        max_diff < 1e-3,
+        "machine output diverged from the reference"
+    );
 
     println!(
         "  machine executed {} MACs ({} work units); dense execution would need {}",

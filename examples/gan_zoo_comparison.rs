@@ -29,13 +29,8 @@ fn main() {
 
     let speedup = geometric_mean(comparisons.iter().map(|c| c.generator_speedup()));
     let energy = geometric_mean(comparisons.iter().map(|c| c.generator_energy_reduction()));
-    println!(
-        "{:<10} {:>8.2}x {:>9.2}x",
-        "Geomean", speedup, energy
-    );
+    println!("{:<10} {:>8.2}x {:>9.2}x", "Geomean", speedup, energy);
     println!();
-    println!(
-        "paper reference points: 3.6x geomean speedup, 3.1x geomean energy reduction,"
-    );
+    println!("paper reference points: 3.6x geomean speedup, 3.1x geomean energy reduction,");
     println!("~90% GANAX PE utilization, ~1.0x on the discriminators.");
 }

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of criterion's API that `crates/bench/benches/*.rs` use —
+//! [`Criterion`], [`Criterion::benchmark_group`], `bench_function`,
+//! `sample_size`, [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a plain wall-clock measurement loop.
+//! It reports mean/min/max per benchmark instead of criterion's full
+//! statistical analysis; swapping in the real criterion later only requires
+//! editing `crates/bench/Cargo.toml`.
+//!
+//! Like the real criterion, a positional command-line argument acts as a
+//! substring filter on benchmark names, and `--quick`/`--test` run each body
+//! once (used by CI smoke runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    /// Builds a driver configured from the process arguments (see the crate
+    /// docs for the supported flags).
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" | "--test" => quick = true,
+                "--bench" => {}
+                // Criterion flags that take a value: consume it so e.g.
+                // `--save-baseline main` does not turn `main` into a name
+                // filter that silently skips every benchmark. Other flags are
+                // boolean, so a following positional token is a name filter.
+                "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--sample-size"
+                | "--profile-time"
+                | "--color"
+                | "--output-format"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--nresamples"
+                | "--sampling-mode" => {
+                    args.next();
+                }
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single benchmark outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        let skip = self
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !id.as_ref().contains(needle));
+        if !skip {
+            run_benchmark(id.as_ref(), 20, quick, f);
+        }
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.as_ref());
+        let skip = self
+            .criterion
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !full_name.contains(needle));
+        if !skip {
+            run_benchmark(&full_name, self.sample_size, self.criterion.quick, f);
+        }
+        self
+    }
+
+    /// Ends the group. (The shim runs benchmarks eagerly, so this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records one wall-clock sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call, then the timed samples.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, quick: bool, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: if quick { 1 } else { sample_size },
+    };
+    f(&mut bencher);
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_duration(*min),
+        format_duration(mean),
+        format_duration(*max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut calls = 0u32;
+        bencher.iter(|| calls += 1);
+        assert_eq!(bencher.samples.len(), 5);
+        assert_eq!(calls, 6, "one warm-up call plus five timed samples");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this workspace vendors the *tiny* slice of serde's surface that the
+//! `ganax-bench` crate actually uses: a [`Serialize`] trait, a JSON-shaped
+//! [`Value`] tree, and a `#[derive(Serialize)]` macro (re-exported from the
+//! sibling `serde_derive` shim). Swapping in the real serde later only
+//! requires editing `Cargo.toml` — the call sites are API-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// The derive macro emits `serde::`-prefixed paths; alias this crate to its
+// own name so the derive also works from inside the crate (e.g. its tests).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree produced by [`Serialize::to_value`].
+///
+/// Object keys keep their insertion order so serialized structs print their
+/// fields in declaration order, matching what `serde_json` does for structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (everything is carried as `f64`, like JavaScript).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can turn themselves into a [`Value`] tree.
+///
+/// This replaces serde's visitor-based `Serialize` trait with the simplest
+/// design that supports `serde_json::to_string_pretty`: serialize to an
+/// in-memory tree, then print the tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+macro_rules! impl_serialize_number {
+    ($($ty:ty),+) => {
+        $(impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        })+
+    };
+}
+
+impl_serialize_number!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(1.5f64.to_value(), Value::Number(1.5));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_serializes_to_array() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(2.0),
+                Value::Number(3.0)
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_emits_fields_in_declaration_order() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            score: f64,
+        }
+        let row = Row {
+            name: "dcgan".into(),
+            score: 0.25,
+        };
+        match row.to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields[0].0, "name");
+                assert_eq!(fields[1].0, "score");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

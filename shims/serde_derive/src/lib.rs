@@ -1,0 +1,105 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the only shape this workspace needs:
+//! non-generic structs with named fields whose types implement
+//! `serde::Serialize`. The macro is written against `proc_macro` alone (no
+//! `syn`/`quote`) because the build environment cannot reach crates.io.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting each named field, in declaration
+/// order, into a `serde::Value::Object`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{\n\
+         \t\tserde::Value::Object(vec![{entries}])\n\
+         \t}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl should parse")
+}
+
+/// Extracts the struct name and its named-field identifiers from the derive
+/// input. Panics (a compile error at the use site) on enums, tuple structs or
+/// generic structs, which this shim does not support.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip outer attributes such as doc comments: `#` + `[...]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("#[derive(Serialize)] shim only supports structs");
+
+    let body = tokens
+        .find_map(|token| match token {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .expect("#[derive(Serialize)] shim only supports named-field structs");
+
+    let mut fields = Vec::new();
+    let mut field_tokens = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and the optional `pub` visibility.
+        while let Some(token) = field_tokens.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    field_tokens.next();
+                    field_tokens.next();
+                }
+                TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                    field_tokens.next();
+                    // `pub(crate)` carries a parenthesized scope; drop it too.
+                    if let Some(TokenTree::Group(g)) = field_tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            field_tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match field_tokens.next() {
+            Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        // Skip to the comma that ends this field, ignoring commas nested in
+        // generic arguments (`Vec<(A, B)>` style types).
+        let mut angle_depth = 0i32;
+        for token in field_tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, fields)
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides [`to_string_pretty`] over the [`serde`] shim's `Value` tree —
+//! the only entry point this workspace uses. Output matches `serde_json`'s
+//! pretty format: two-space indentation, fields in declaration order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The shim's tree-based pipeline cannot actually fail,
+/// but the `Result` return keeps call sites source-compatible with the real
+/// `serde_json` (`.unwrap()` and `?` both work).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+fn write_value_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_value_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_sequence(out, items, indent, ('[', ']'), |out, item, ind| {
+            write_value(out, item, ind)
+        }),
+        Value::Object(fields) => {
+            write_sequence(out, fields, indent, ('{', '}'), |out, (key, val), ind| {
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_value(out, val, ind);
+            })
+        }
+    }
+}
+
+fn write_sequence<T>(
+    out: &mut String,
+    items: &[T],
+    indent: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, &T, usize),
+) {
+    if items.is_empty() {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&"  ".repeat(indent + 1));
+        write_item(out, item, indent + 1);
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+}
+
+/// JSON numbers: integers print without a trailing `.0`, like `serde_json`
+/// does for integer types; non-finite values fall back to `null` (JSON has no
+/// NaN/Infinity).
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let value = vec![vec![1u32, 2], vec![3]];
+        assert_eq!(
+            to_string_pretty(&value).unwrap(),
+            "[\n  [\n    1,\n    2\n  ],\n  [\n    3\n  ]\n]"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = "a\"b\\c\nd".to_string();
+        assert_eq!(to_string_pretty(&s).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(to_string_pretty(&3u32).unwrap(), "3");
+        assert_eq!(to_string_pretty(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn compact_form_preserves_tricky_string_values() {
+        // A string value containing the `": ` sequence must survive verbatim.
+        let tricky = vec!["a\": b".to_string(), "line1\nline2".to_string()];
+        assert_eq!(
+            to_string(&tricky).unwrap(),
+            "[\"a\\\": b\",\"line1\\nline2\"]"
+        );
+        assert_eq!(to_string(&Vec::<f64>::new()).unwrap(), "[]");
+    }
+}

@@ -13,6 +13,13 @@
 //! * [`eyeriss`] — the Eyeriss-style baseline accelerator model.
 //! * [`ganax`] — the GANAX accelerator: compiler, machine, perf model and
 //!   comparison reports.
+//!
+//! ```
+//! use ganax_repro::prelude::*;
+//!
+//! let report = ModelComparison::compare(&zoo::dcgan());
+//! assert!(report.generator_speedup() > 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,7 +7,9 @@ use ganax_models::{Activation, Layer};
 use ganax_tensor::{conv, tconv, ConvParams, Shape, Tensor};
 
 fn pseudo_random(shape: Shape, seed: u64) -> Tensor {
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;

@@ -44,8 +44,14 @@ fn geomean_speedup_and_energy_are_in_the_paper_ballpark() {
     // Paper: 3.6x speedup and 3.1x energy reduction on average. The rebuilt
     // simulator is not the authors' testbed, so assert the ballpark (within
     // roughly a factor of 1.5 of the reported geomeans).
-    assert!(speedup > 2.4 && speedup < 5.4, "geomean speedup = {speedup}");
-    assert!(energy > 2.0 && energy < 4.7, "geomean energy reduction = {energy}");
+    assert!(
+        speedup > 2.4 && speedup < 5.4,
+        "geomean speedup = {speedup}"
+    );
+    assert!(
+        energy > 2.0 && energy < 4.7,
+        "geomean energy reduction = {energy}"
+    );
 }
 
 #[test]
@@ -75,7 +81,12 @@ fn ganax_utilization_is_high_across_the_zoo() {
     // Paper (Figure 11): around 90% PE utilization for GANAX on every GAN.
     for report in comparisons() {
         let (eyeriss, ganax) = report.generator_utilization();
-        assert!(ganax > 0.6, "{}: GANAX utilization {}", report.gan_name, ganax);
+        assert!(
+            ganax > 0.6,
+            "{}: GANAX utilization {}",
+            report.gan_name,
+            ganax
+        );
         assert!(
             ganax > eyeriss + 0.1,
             "{}: GANAX {} vs Eyeriss {}",
@@ -111,7 +122,10 @@ fn figure_one_average_exceeds_sixty_percent() {
         .map(|m| m.generator.op_stats().tconv_inconsequential_fraction())
         .collect();
     let average = fractions.iter().sum::<f64>() / fractions.len() as f64;
-    assert!(average > 0.6, "average inconsequential fraction = {average}");
+    assert!(
+        average > 0.6,
+        "average inconsequential fraction = {average}"
+    );
 }
 
 #[test]

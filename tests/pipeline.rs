@@ -78,7 +78,12 @@ fn accelerators_agree_exactly_on_discriminators() {
         let e = eyeriss.run_network(&gan.discriminator);
         let g = ganax.run_network(&gan.discriminator);
         assert_eq!(e.total_cycles(), g.total_cycles(), "{}", gan.name);
-        assert_eq!(e.total_counts().alu_ops, g.total_counts().alu_ops, "{}", gan.name);
+        assert_eq!(
+            e.total_counts().alu_ops,
+            g.total_counts().alu_ops,
+            "{}",
+            gan.name
+        );
     }
 }
 
