@@ -1,0 +1,70 @@
+//! Benchmarks the cycle-level machine's fast path against the seed
+//! single-step serial path and emits `BENCH_machine.json`.
+//!
+//! ```text
+//! cargo run --release -p ganax-bench --bin bench_machine             # full run
+//! cargo run --release -p ganax-bench --bin bench_machine -- --quick  # CI smoke
+//! cargo run --release -p ganax-bench --bin bench_machine -- --out path.json
+//! ```
+//!
+//! Each row records the wall-clock time of the seed single-step path, the
+//! burst-stepped serial fast path and the threaded fast path on one layer
+//! geometry, plus simulated-cycles-per-second and the resulting speedups. The
+//! fast-path results are asserted bit-identical to the reference before any
+//! timing is reported.
+
+use ganax_bench::{machine_bench, MachineBenchRow};
+use serde::Serialize;
+
+/// The emitted `BENCH_machine.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Benchmark family name.
+    bench: String,
+    /// Whether the quick (CI smoke) geometry set was used.
+    quick: bool,
+    /// Worker threads available to the threaded measurements.
+    threads: usize,
+    /// Per-geometry measurements.
+    rows: Vec<MachineBenchRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // Profiling aid: loop only the serial fast path on the largest geometry.
+    if args.iter().any(|a| a == "--fast-only") {
+        ganax_bench::machine_fast_only_loop(quick);
+        return;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_machine.json".to_string());
+
+    let rows = machine_bench(quick);
+    for row in &rows {
+        println!(
+            "{:<20} {:>12} cycles  ref {:>9.1} ms  fast {:>8.1} ms ({:>5.1}x)  threaded {:>8.1} ms ({:>5.1}x)",
+            row.layer,
+            row.busy_pe_cycles,
+            row.reference_ms,
+            row.fast_serial_ms,
+            row.speedup_fast_serial,
+            row.threaded_ms,
+            row.speedup_threaded,
+        );
+    }
+
+    let report = BenchReport {
+        bench: "machine".to_string(),
+        quick,
+        threads: rows.first().map(|r| r.threads).unwrap_or(1),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("BENCH_machine.json is writable");
+    println!("wrote {out_path}");
+}

@@ -16,9 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 use ganax::compare::{compare_all, geometric_mean, ModelComparison};
+use ganax::GanaxMachine;
 use ganax_energy::EnergyCategory;
-use ganax_models::zoo;
+use ganax_models::{zoo, Layer};
+use ganax_tensor::{Shape, Tensor};
 use serde::Serialize;
 
 /// One row of the Figure 1 reproduction.
@@ -164,6 +168,210 @@ pub fn figure11(comparisons: &[ModelComparison]) -> Vec<Fig11Row> {
             }
         })
         .collect()
+}
+
+/// One row of the cycle-level machine performance benchmark
+/// (`BENCH_machine.json`): wall-clock time of the seed single-step serial
+/// path versus the burst-stepped fast path (serial and threaded) on one layer
+/// geometry.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineBenchRow {
+    /// Layer name.
+    pub layer: String,
+    /// Human-readable geometry (`in → out, kernel/stride`).
+    pub geometry: String,
+    /// Work units the machine executed.
+    pub work_units: u64,
+    /// Busy PE cycles the run simulated (equals consequential MACs).
+    pub busy_pe_cycles: u64,
+    /// Wall-clock milliseconds of the seed single-step serial path.
+    pub reference_ms: f64,
+    /// Wall-clock milliseconds of the burst-stepped serial fast path.
+    pub fast_serial_ms: f64,
+    /// Wall-clock milliseconds of the threaded fast path.
+    pub threaded_ms: f64,
+    /// Worker threads used for `threaded_ms`.
+    pub threads: usize,
+    /// Simulated busy cycles per wall-clock second on the serial fast path.
+    pub fast_serial_cycles_per_sec: f64,
+    /// `reference_ms / fast_serial_ms`.
+    pub speedup_fast_serial: f64,
+    /// `reference_ms / threaded_ms`.
+    pub speedup_threaded: f64,
+}
+
+/// A deterministic pseudo-random tensor (xorshift over the flat index) shared
+/// by the machine benches and the scale tests.
+pub fn deterministic_tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 2000) as f32 / 1000.0) - 1.0
+    };
+    let mut t = Tensor::zeros(shape);
+    for v in t.data_mut() {
+        *v = next();
+    }
+    t
+}
+
+/// Random input and weight tensors matching one conv/tconv layer.
+pub fn layer_tensors(layer: &Layer, seed: u64) -> (Tensor, Tensor) {
+    let params = layer.op.conv_params().expect("conv/tconv layer");
+    let input = deterministic_tensor(layer.input, seed);
+    let weights = deterministic_tensor(
+        Shape::filter(
+            layer.output.channels,
+            layer.input.channels,
+            params.kernel.0,
+            params.kernel.1,
+            params.kernel.2,
+        ),
+        seed + 1,
+    );
+    (input, weights)
+}
+
+/// The geometries the machine bench covers: the paper's Figure 4 example, a
+/// mid-size multi-channel transposed convolution, and a full-size Table I
+/// DCGAN generator layer (`tconv3`, 256 → 128 channels). With `quick`, the
+/// DCGAN layer is swapped for a half-width stand-in so CI smoke runs stay
+/// short.
+pub fn machine_bench_layers(quick: bool) -> Vec<Layer> {
+    use ganax_models::Activation;
+    use ganax_tensor::ConvParams;
+
+    let tconv3 = zoo::dcgan()
+        .generator
+        .layers()
+        .iter()
+        .find(|l| l.name == "tconv3")
+        .expect("DCGAN generator has tconv3")
+        .clone();
+    let dcgan_kernel = tconv3.op.conv_params().expect("tconv3 is a tconv");
+    let mut layers = vec![
+        Layer::conv(
+            "paper-example",
+            Shape::new_2d(1, 4, 4),
+            1,
+            ConvParams::transposed_2d(5, 2, 2),
+            Activation::None,
+        )
+        .expect("paper example geometry is valid"),
+        Layer::conv(
+            "tconv-mid",
+            Shape::new_2d(16, 8, 8),
+            16,
+            dcgan_kernel,
+            Activation::None,
+        )
+        .expect("mid geometry is valid"),
+    ];
+    if quick {
+        layers.push(
+            Layer::conv(
+                "dcgan-tconv3-half",
+                Shape::new_2d(tconv3.input.channels / 2, 16, 16),
+                tconv3.output.channels / 2,
+                dcgan_kernel,
+                Activation::None,
+            )
+            .expect("half-width tconv3 geometry is valid"),
+        );
+    } else {
+        layers.push(tconv3);
+    }
+    layers
+}
+
+/// Runs `f` `samples` times and keeps the fastest wall-clock time (the
+/// criterion-style noise floor) together with the last result.
+fn time_best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let result = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        value = Some(result);
+    }
+    (value.expect("at least one sample"), best)
+}
+
+/// Measures the seed single-step serial path against the burst-stepped fast
+/// paths on every [`machine_bench_layers`] geometry. Every path is timed
+/// best-of-5 so noisy samples cannot skew the recorded speedups.
+pub fn machine_bench(quick: bool) -> Vec<MachineBenchRow> {
+    let machine = GanaxMachine::paper();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let samples = 5;
+    machine_bench_layers(quick)
+        .into_iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            let (input, weights) = layer_tensors(&layer, 97 + i as u64);
+            let (reference, reference_ms) = time_best_of(samples, || {
+                machine
+                    .execute_layer_reference(&layer, &input, &weights)
+                    .expect("reference path executes the bench layer")
+            });
+            let (fast, fast_serial_ms) = time_best_of(samples, || {
+                machine
+                    .execute_layer_threaded(&layer, &input, &weights, 1)
+                    .expect("fast path executes the bench layer")
+            });
+            assert_eq!(reference, fast, "fast path diverged from the reference");
+            // On a single-core host the "threaded" run would re-time the
+            // identical serial path; reuse the serial number instead of
+            // recording noise as a threading result.
+            let threaded_ms = if threads > 1 {
+                time_best_of(samples, || {
+                    machine
+                        .execute_layer_threaded(&layer, &input, &weights, threads)
+                        .expect("threaded path executes the bench layer")
+                })
+                .1
+            } else {
+                fast_serial_ms
+            };
+            let params = layer.op.conv_params().expect("conv/tconv layer");
+            MachineBenchRow {
+                layer: layer.name.clone(),
+                geometry: format!(
+                    "{} -> {}, {}x{}/s{}",
+                    layer.input, layer.output, params.kernel.1, params.kernel.2, params.stride.1
+                ),
+                work_units: fast.work_units,
+                busy_pe_cycles: fast.busy_pe_cycles,
+                reference_ms,
+                fast_serial_ms,
+                threaded_ms,
+                threads,
+                fast_serial_cycles_per_sec: fast.busy_pe_cycles as f64 / (fast_serial_ms / 1e3),
+                speedup_fast_serial: reference_ms / fast_serial_ms,
+                speedup_threaded: reference_ms / threaded_ms,
+            }
+        })
+        .collect()
+}
+
+/// Profiling aid for `bench_machine --fast-only`: repeatedly runs the serial
+/// fast path on the largest bench geometry so a sampling profiler sees only
+/// the hot path.
+pub fn machine_fast_only_loop(quick: bool) {
+    let machine = GanaxMachine::paper();
+    let layer = machine_bench_layers(quick).pop().expect("bench layers");
+    let (input, weights) = layer_tensors(&layer, 99);
+    for _ in 0..5 {
+        let run = machine
+            .execute_layer_threaded(&layer, &input, &weights, 1)
+            .expect("fast path executes the bench layer");
+        std::hint::black_box(run.busy_pe_cycles);
+    }
 }
 
 /// Formats a percentage.

@@ -1,4 +1,4 @@
-//! The cycle-level GANAX machine: executes small 2-D layers on the decoupled
+//! The cycle-level GANAX machine: executes 2-D layers on the decoupled
 //! access-execute PE array and produces actual output feature maps.
 //!
 //! The machine is the functional-validation half of the reproduction: it drives
@@ -8,9 +8,34 @@
 //! numbers come from the analytic [`GanaxModel`](crate::GanaxModel); the
 //! machine is what justifies that model's per-pass assumptions.
 //!
+//! # Fast simulation path
+//!
+//! [`GanaxMachine::execute_layer`] runs a layer through three optimizations
+//! that keep full-size Table I generator layers simulatable in seconds while
+//! staying cycle- and counter-identical to the single-step reference:
+//!
+//! * **a per-layer plan** hoists everything that the seed implementation
+//!   recomputed per work unit — consequential vertical taps per output row,
+//!   consequential column runs per output column, and the (flipped, for
+//!   transposed convolutions) weight rows — out of the inner loop, making the
+//!   hot path allocation-free;
+//! * **burst-stepped PEs** ([`ProcessingEngine::run_until_idle_burst`]) retire
+//!   each provably stall-free repeated-`mac` run in one call instead of one
+//!   cycle at a time;
+//! * **a multi-threaded PE-array scheduler**
+//!   ([`GanaxMachine::execute_layer_threaded`]) shards `(output channel,
+//!   output row)` work units across `std::thread`-scoped worker PEs. Every
+//!   work unit writes a disjoint output row and workers are assigned units by
+//!   a static round-robin over the row index, so outputs and counters are
+//!   bit-identical for every thread count.
+//!
+//! [`GanaxMachine::execute_layer_reference`] preserves the seed
+//! one-cycle-at-a-time serial path; property tests assert the fast paths match
+//! it bit for bit.
+//!
 //! Scope: 2-D convolution and transposed-convolution layers (the volumetric
 //! 3D-GAN layers exercise the same per-axis machinery through the performance
-//! model; simulating them at cycle level is prohibitively slow and adds no
+//! model; the fast path makes 2-D layers cheap, while volumetric layers add no
 //! functional coverage).
 
 use std::fmt;
@@ -42,6 +67,11 @@ pub enum MachineError {
         /// The layer that timed out.
         layer: String,
     },
+    /// The dispatcher overflowed a PE's µop FIFO.
+    UopOverflow {
+        /// The layer being dispatched.
+        layer: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -50,6 +80,9 @@ impl fmt::Display for MachineError {
             MachineError::Unsupported { detail } => write!(f, "unsupported layer: {detail}"),
             MachineError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             MachineError::Timeout { layer } => write!(f, "layer `{layer}` did not converge"),
+            MachineError::UopOverflow { layer } => {
+                write!(f, "layer `{layer}` overflowed a PE µop FIFO")
+            }
         }
     }
 }
@@ -76,6 +109,7 @@ pub struct GanaxMachine {
 }
 
 /// Per-output-column addressing of one consequential compute node.
+#[derive(Debug, Clone, Copy)]
 struct ColumnRun {
     /// First input column of the run.
     input_start: usize,
@@ -85,6 +119,191 @@ struct ColumnRun {
     kernel_step: usize,
     /// Number of consequential taps.
     taps: usize,
+}
+
+/// A run of same-phase consequential output columns sharing a tap count,
+/// dispatched to a PE as one program: gathered operand streams, linear
+/// operand index generators, a strided output generator, and one
+/// `repeat`+`mac` µop pair per column.
+///
+/// Phases are the paper's Figure 5 structure: transposed-convolution columns
+/// with the same `ox mod stride` residue read the same number of consequential
+/// taps, so grouping by residue yields long equal-repeat runs where grouping
+/// consecutive columns would alternate tap counts every column.
+#[derive(Debug, Clone)]
+struct ColumnChunk {
+    /// First output column of the chunk.
+    ox_start: usize,
+    /// Distance between consecutive chunk columns (the phase stride).
+    col_step: usize,
+    /// Columns in the chunk.
+    cols: usize,
+    /// Consequential taps of every column in the chunk.
+    taps: usize,
+    /// Per stream element, the weight-row offset it gathers (`cols × taps`
+    /// entries; offsets are bounded by the kernel width).
+    weight_offsets: Vec<u16>,
+}
+
+/// Everything about a layer that the seed implementation recomputed per work
+/// unit, hoisted out of the hot loop: consequential vertical taps per output
+/// row, consequential column runs per output column (grouped into
+/// equal-tap-count chunks), and pre-gathered weight rows (spatially flipped
+/// for transposed convolutions). Shared read-only by every worker PE.
+struct LayerPlan {
+    /// Per output row: the consequential `(ky, iy)` vertical taps.
+    row_taps: Vec<Vec<(usize, usize)>>,
+    /// Per output column: the consequential column run, if any.
+    column_runs: Vec<Option<ColumnRun>>,
+    /// Consequential columns grouped into dispatchable chunks.
+    chunks: Vec<ColumnChunk>,
+    /// Weight rows in `[(co * input_channels + ci) * kernel_h + ky]` order.
+    weight_rows: Vec<f32>,
+    /// Kernel width (length of one weight row).
+    kernel_w: usize,
+    /// Kernel height (rows per `(co, ci)` filter plane).
+    kernel_h: usize,
+    /// Input channels (stride of the `co` index).
+    input_channels: usize,
+}
+
+impl LayerPlan {
+    /// Groups same-phase consequential columns with equal tap counts into
+    /// chunks sized so one chunk's gathered operand streams fit the PE
+    /// scratchpads and its µop pairs fit the µop FIFO. Walking each
+    /// `ox mod stride` residue class separately keeps tap counts constant
+    /// along a chunk (the phase structure of the reorganized dataflow), so a
+    /// whole output row dispatches as a handful of chunks.
+    fn build_chunks(
+        column_runs: &[Option<ColumnRun>],
+        params: &ConvParams,
+        pe: &PeConfig,
+    ) -> Vec<ColumnChunk> {
+        let max_pairs = pe.uop_fifo_entries / 2;
+        let col_step = match params.kind {
+            ConvKind::Transposed => params.stride.2,
+            ConvKind::Conventional => 1,
+        };
+        let mut chunks = Vec::new();
+        for residue in 0..col_step {
+            let mut ox = residue;
+            while ox < column_runs.len() {
+                let Some(run) = &column_runs[ox] else {
+                    ox += col_step;
+                    continue;
+                };
+                let taps = run.taps;
+                let max_cols = max_pairs
+                    .min(pe.input_words / taps)
+                    .min(pe.weight_words / taps)
+                    .max(1);
+                let mut cols = 1;
+                while cols < max_cols
+                    && column_runs
+                        .get(ox + cols * col_step)
+                        .and_then(|r| r.as_ref())
+                        .is_some_and(|r| r.taps == taps)
+                {
+                    cols += 1;
+                }
+                let weight_offsets = (0..cols)
+                    .flat_map(|c| {
+                        let run = column_runs[ox + c * col_step]
+                            .as_ref()
+                            .expect("chunk covers consequential columns");
+                        (0..taps).map(move |j| (run.kernel_start + j * run.kernel_step) as u16)
+                    })
+                    .collect();
+                chunks.push(ColumnChunk {
+                    ox_start: ox,
+                    col_step,
+                    cols,
+                    taps,
+                    weight_offsets,
+                });
+                ox += cols * col_step;
+            }
+        }
+        chunks
+    }
+
+    fn build(layer: &Layer, params: &ConvParams, weights: &Tensor, pe: &PeConfig) -> Self {
+        let geometry = LayerGeometry::for_layer(layer);
+        let row_taps = (0..layer.output.height)
+            .map(|oy| {
+                let ky_taps: Vec<usize> = match &geometry.height_phases {
+                    Some(phases) if layer.is_tconv() => phases.taps_at(oy),
+                    _ => (0..params.kernel.1)
+                        .filter(|ky| conv_input_row(oy, *ky, params, layer.input.height).is_some())
+                        .collect(),
+                };
+                ky_taps
+                    .into_iter()
+                    .filter_map(|ky| {
+                        input_row_for(oy, ky, params, layer.input.height).map(|iy| (ky, iy))
+                    })
+                    .collect()
+            })
+            .collect();
+        let column_runs: Vec<Option<ColumnRun>> = (0..layer.output.width)
+            .map(|ox| column_run(ox, params, layer.input.width))
+            .collect();
+        let chunks = Self::build_chunks(&column_runs, params, pe);
+
+        let (kernel_h, kernel_w) = (params.kernel.1, params.kernel.2);
+        let (co_count, ci_count) = (layer.output.channels, layer.input.channels);
+        let mut weight_rows = vec![0.0f32; co_count * ci_count * kernel_h * kernel_w];
+        let mut idx = 0;
+        for co in 0..co_count {
+            for ci in 0..ci_count {
+                for ky in 0..kernel_h {
+                    for kx in 0..kernel_w {
+                        // The machine gathers over the zero-inserted domain,
+                        // so for transposed convolutions the kernel is
+                        // spatially flipped (the classical adjoint
+                        // relationship — see
+                        // `ganax_tensor::tconv_via_zero_insertion`).
+                        weight_rows[idx] = if layer.is_tconv() {
+                            weights.at_filter(co, ci, 0, kernel_h - 1 - ky, kernel_w - 1 - kx)
+                        } else {
+                            weights.at_filter(co, ci, 0, ky, kx)
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        LayerPlan {
+            row_taps,
+            column_runs,
+            chunks,
+            weight_rows,
+            kernel_w,
+            kernel_h,
+            input_channels: ci_count,
+        }
+    }
+
+    /// The pre-gathered weight row for one `(co, ci, ky)` work unit.
+    fn weight_row(&self, co: usize, ci: usize, ky: usize) -> &[f32] {
+        let row = (co * self.input_channels + ci) * self.kernel_h + ky;
+        &self.weight_rows[row * self.kernel_w..(row + 1) * self.kernel_w]
+    }
+}
+
+/// Cycle budget of one per-column `mac` run: a stall-free run retires in
+/// `taps` (× the single generator repetition) cycles plus one dispatch cycle,
+/// so anything beyond a small fixed slack means the PE wedged. Deriving the
+/// budget from the work keeps huge layers from spuriously timing out and
+/// makes genuinely wedged small runs fail fast.
+fn column_cycle_budget(taps: usize) -> u64 {
+    2 * taps as u64 + 16
+}
+
+/// Cycle budget of one chunk dispatch: the per-column budgets of every column
+/// in the chunk.
+fn chunk_cycle_budget(chunk: &ColumnChunk) -> u64 {
+    column_cycle_budget(chunk.taps) * chunk.cols as u64
 }
 
 impl GanaxMachine {
@@ -101,6 +320,11 @@ impl GanaxMachine {
     /// Executes one 2-D convolution or transposed-convolution layer, returning
     /// the computed output and the activity counters.
     ///
+    /// Uses the fast path (per-layer plan + burst-stepped PEs) on a worker
+    /// count chosen from [`std::thread::available_parallelism`]; results are
+    /// bit-identical to [`GanaxMachine::execute_layer_reference`] and to any
+    /// other thread count.
+    ///
     /// # Errors
     /// Returns [`MachineError::Unsupported`] for projections and volumetric
     /// layers, [`MachineError::ShapeMismatch`] when the tensors do not match
@@ -111,6 +335,191 @@ impl GanaxMachine {
         input: &Tensor,
         weights: &Tensor,
     ) -> Result<MachineRun, MachineError> {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Shards are whole output rows (`oy` slices); threads only pay off
+        // when each worker gets a meaningful number of them.
+        let threads = available.min(layer.output.height / 4).max(1);
+        self.execute_layer_threaded(layer, input, weights, threads)
+    }
+
+    /// Executes one layer on `threads` `std::thread`-scoped worker PEs.
+    ///
+    /// Work units are sharded by `(output channel, output row)`: worker `w`
+    /// owns every row whose flat index `co * output_height + oy` is congruent
+    /// to `w` modulo `threads`. Each work unit writes a disjoint output row
+    /// and the per-worker counters are reduced in worker-index order, so the
+    /// output feature map, cycle counts and [`EventCounts`] are bit-identical
+    /// for every `threads` value (including 1, the serial fast path).
+    ///
+    /// # Errors
+    /// As [`GanaxMachine::execute_layer`].
+    pub fn execute_layer_threaded(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        weights: &Tensor,
+        threads: usize,
+    ) -> Result<MachineRun, MachineError> {
+        let params = self.validate(layer, input, weights)?;
+        // One PE sizing governs both the plan (chunk/stream limits) and the
+        // worker PEs, so chunks can never outgrow the engines executing them.
+        let pe_config = PeConfig::roomy();
+        let plan = LayerPlan::build(layer, &params, weights, &pe_config);
+        let mut output = Tensor::zeros(layer.output);
+        let width = layer.output.width;
+        let height = layer.output.height;
+        let threads = threads.clamp(1, height.max(1));
+
+        let mut busy = 0u64;
+        let mut counts = EventCounts::default();
+        let mut work_units = 0u64;
+        {
+            // Output rows in `(co, oy)` order are the contiguous `width`-sized
+            // chunks of the output buffer; group them per output row `oy`
+            // (every channel), because a shard processes whole `oy` slices —
+            // that lets one input-stream load serve every output channel.
+            let mut rows_by_oy: Vec<(usize, Vec<&mut [f32]>)> =
+                (0..height).map(|oy| (oy, Vec::new())).collect();
+            for (idx, row) in output.data_mut().chunks_mut(width).enumerate() {
+                rows_by_oy[idx % height].1.push(row);
+            }
+            let shard_results: Vec<Result<(u64, EventCounts, u64), MachineError>> = if threads == 1
+            {
+                vec![run_shard(layer, input, &plan, &pe_config, rows_by_oy)]
+            } else {
+                let mut shards: Vec<Vec<(usize, Vec<&mut [f32]>)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (oy, rows) in rows_by_oy {
+                    shards[oy % threads].push((oy, rows));
+                }
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .into_iter()
+                        .map(|shard| {
+                            scope.spawn(|| run_shard(layer, input, &plan, &pe_config, shard))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("worker PE panicked"))
+                        .collect()
+                })
+            };
+            // Deterministic reduction: worker-index order.
+            for result in shard_results {
+                let (shard_busy, shard_counts, shard_units) = result?;
+                busy += shard_busy;
+                counts += shard_counts;
+                work_units += shard_units;
+            }
+        }
+        // Horizontal accumulation of each node's partial sums into the output
+        // row (one hop per produced element).
+        counts.inter_pe_transfers += work_units * width as u64;
+
+        Ok(MachineRun {
+            output,
+            busy_pe_cycles: busy,
+            counts,
+            work_units,
+        })
+    }
+
+    /// Executes one layer on the seed one-cycle-at-a-time serial path: one PE,
+    /// [`ProcessingEngine::run_until_idle`] (no bursts), and per-work-unit
+    /// row/weight gathering. Kept as the measured baseline the fast paths are
+    /// property-tested against — and benchmarked against in
+    /// `BENCH_machine.json`.
+    ///
+    /// # Errors
+    /// As [`GanaxMachine::execute_layer`].
+    pub fn execute_layer_reference(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        weights: &Tensor,
+    ) -> Result<MachineRun, MachineError> {
+        let params = self.validate(layer, input, weights)?;
+        let geometry = LayerGeometry::for_layer(layer);
+        let mut output = Tensor::zeros(layer.output);
+        let mut counts = EventCounts::default();
+        let mut busy = 0u64;
+        let mut work_units = 0u64;
+
+        // One PE is reused per work unit; the mapping of units to physical PEs
+        // round-robins across the array, which only matters for the activity
+        // counters (each unit's traffic is identical wherever it runs).
+        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+
+        for co in 0..layer.output.channels {
+            for oy in 0..layer.output.height {
+                // Consequential vertical taps for this output row.
+                let ky_taps: Vec<usize> = match &geometry.height_phases {
+                    Some(phases) if layer.is_tconv() => phases.taps_at(oy),
+                    _ => (0..params.kernel.1)
+                        .filter(|ky| conv_input_row(oy, *ky, &params, layer.input.height).is_some())
+                        .collect(),
+                };
+                for &ky in &ky_taps {
+                    let Some(iy) = input_row_for(oy, ky, &params, layer.input.height) else {
+                        continue;
+                    };
+                    for ci in 0..layer.input.channels {
+                        work_units += 1;
+                        let row: Vec<f32> = (0..layer.input.width)
+                            .map(|ix| input.at(ci, 0, iy, ix))
+                            .collect();
+                        let weight_row: Vec<f32> = (0..params.kernel.2)
+                            .map(|kx| {
+                                if layer.is_tconv() {
+                                    weights.at_filter(
+                                        co,
+                                        ci,
+                                        0,
+                                        params.kernel.1 - 1 - ky,
+                                        params.kernel.2 - 1 - kx,
+                                    )
+                                } else {
+                                    weights.at_filter(co, ci, 0, ky, kx)
+                                }
+                            })
+                            .collect();
+                        let (unit_busy, unit_counts) = run_unit_single_step(
+                            &mut pe,
+                            &row,
+                            &weight_row,
+                            &params,
+                            layer,
+                            |ox, value| {
+                                output.add_at(co, 0, oy, ox, value);
+                            },
+                        )?;
+                        busy += unit_busy;
+                        counts += unit_counts;
+                        counts.inter_pe_transfers += layer.output.width as u64;
+                    }
+                }
+            }
+        }
+
+        Ok(MachineRun {
+            output,
+            busy_pe_cycles: busy,
+            counts,
+            work_units,
+        })
+    }
+
+    /// Checks layer support and tensor shapes, returning the convolution
+    /// parameters.
+    fn validate(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        weights: &Tensor,
+    ) -> Result<ConvParams, MachineError> {
         let params = match &layer.op {
             LayerOp::Conv(p) | LayerOp::TConv(p) => *p,
             LayerOp::Projection => {
@@ -145,165 +554,246 @@ impl GanaxMachine {
                 ),
             });
         }
+        Ok(params)
+    }
+}
 
-        let geometry = LayerGeometry::for_layer(layer);
-        let mut output = Tensor::zeros(layer.output);
-        let mut counts = EventCounts::default();
-        let mut busy = 0u64;
-        let mut work_units = 0u64;
+/// Runs every work unit of one shard of whole output rows (`oy` slices, all
+/// channels) on a fresh worker PE, accumulating partial sums into the
+/// shard's (disjoint) output-row slices.
+///
+/// The hot path exploits the work-unit structure twice over:
+///
+/// * columns dispatch chunk-wise — a chunk's operand values are gathered
+///   into contiguous streams walked by linear index generators while one
+///   `repeat`+`mac` µop pair per column drains them, which the PE retires as
+///   a single provably stall-free burst;
+/// * output channels batch — a gathered input stream depends only on
+///   `(oy, ky, ci)`, so it is loaded once and *replayed* by the input
+///   generator's repeat register across a whole group of output channels,
+///   whose weight streams concatenate in the weight scratchpad and whose
+///   partial sums land in disjoint output words.
+///
+/// Per work unit and column this performs exactly the reference path's
+/// traffic (`taps` input + `taps` weight reads, two µop fetches, one
+/// write-back, `taps` busy cycles), so counter totals and the f32
+/// accumulation order per output element are bit-identical; only the
+/// scratchpad layout differs. Bulk loads are excluded from the returned
+/// counts, as the reference path excludes its own per-unit loads. The output
+/// scratchpad is not cleared between dispatches: every program overwrites
+/// its output word before it is read back.
+fn run_shard(
+    layer: &Layer,
+    input: &Tensor,
+    plan: &LayerPlan,
+    pe_config: &PeConfig,
+    shard: Vec<(usize, Vec<&mut [f32]>)>,
+) -> Result<(u64, EventCounts, u64), MachineError> {
+    let mut pe = ProcessingEngine::new(*pe_config);
+    let max_pairs = pe_config.uop_fifo_entries / 2;
+    let uop_buf: Vec<ExecUop> = [ExecUop::Repeat, ExecUop::Mac].repeat(max_pairs);
+    let mut load_words = 0u64;
+    let mut work_units = 0u64;
 
-        // One PE is reused per work unit; the mapping of units to physical PEs
-        // round-robins across the array, which only matters for the activity
-        // counters (each unit's traffic is identical wherever it runs).
-        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+    for (oy, mut co_rows) in shard {
+        for &(ky, iy) in &plan.row_taps[oy] {
+            for ci in 0..layer.input.channels {
+                work_units += co_rows.len() as u64;
+                let input_row = input.row_2d(ci, iy);
+                for chunk in &plan.chunks {
+                    let stream = chunk.taps * chunk.cols;
+                    pe.load_input_with(stream, |buf| {
+                        let mut i = 0;
+                        for c in 0..chunk.cols {
+                            let run = plan.column_runs[chunk.ox_start + c * chunk.col_step]
+                                .as_ref()
+                                .expect("chunks cover consequential columns");
+                            buf[i..i + chunk.taps].copy_from_slice(
+                                &input_row[run.input_start..run.input_start + chunk.taps],
+                            );
+                            i += chunk.taps;
+                        }
+                    });
+                    load_words += stream as u64;
 
-        for co in 0..layer.output.channels {
-            for oy in 0..layer.output.height {
-                // Consequential vertical taps for this output row.
-                let ky_taps: Vec<usize> = match &geometry.height_phases {
-                    Some(phases) if layer.is_tconv() => phases.taps_at(oy),
-                    _ => (0..params.kernel.1)
-                        .filter(|ky| conv_input_row(oy, *ky, &params, layer.input.height).is_some())
-                        .collect(),
-                };
-                for &ky in &ky_taps {
-                    let Some(iy) = input_row_for(oy, ky, &params, layer.input.height) else {
-                        continue;
-                    };
-                    for ci in 0..layer.input.channels {
-                        work_units += 1;
-                        let row: Vec<f32> = (0..layer.input.width)
-                            .map(|ix| input.at(ci, 0, iy, ix))
-                            .collect();
-                        // The machine gathers over the zero-inserted domain, so
-                        // for transposed convolutions the kernel is spatially
-                        // flipped (the classical adjoint relationship — see
-                        // `ganax_tensor::tconv_via_zero_insertion`).
-                        let weight_row: Vec<f32> = (0..params.kernel.2)
-                            .map(|kx| {
-                                if layer.is_tconv() {
-                                    weights.at_filter(
-                                        co,
-                                        ci,
-                                        0,
-                                        params.kernel.1 - 1 - ky,
-                                        params.kernel.2 - 1 - kx,
-                                    )
-                                } else {
-                                    weights.at_filter(co, ci, 0, ky, kx)
+                    let group_max = (max_pairs / chunk.cols)
+                        .min(pe_config.weight_words / stream)
+                        .min(pe_config.output_words / chunk.cols)
+                        .max(1);
+                    let mut co0 = 0;
+                    while co0 < co_rows.len() {
+                        let group = group_max.min(co_rows.len() - co0);
+                        pe.load_weights_with(group * stream, |buf| {
+                            for (k, dst) in buf.chunks_exact_mut(stream).enumerate() {
+                                let weight_row = plan.weight_row(co0 + k, ci, ky);
+                                for (value, &offset) in dst.iter_mut().zip(&chunk.weight_offsets) {
+                                    *value = weight_row[offset as usize];
                                 }
-                            })
-                            .collect();
-                        let (unit_busy, unit_counts) = self.run_unit(
-                            &mut pe,
-                            &row,
-                            &weight_row,
-                            &params,
-                            layer,
-                            |ox, value| {
-                                output.add_at(co, 0, oy, ox, value);
-                            },
-                        )?;
-                        busy += unit_busy;
-                        counts += unit_counts;
-                        // Horizontal accumulation of this node's partial sums
-                        // into the output row (one hop per produced element).
-                        counts.inter_pe_transfers += layer.output.width as u64;
+                            }
+                        });
+                        load_words += (group * stream) as u64;
+
+                        dispatch_group(&mut pe, chunk, stream, group, &uop_buf, layer)?;
+                        pe.run_until_idle_burst(chunk_cycle_budget(chunk) * group as u64);
+                        if !pe.is_idle() {
+                            return Err(MachineError::Timeout {
+                                layer: layer.name.clone(),
+                            });
+                        }
+                        let produced = pe.output_contents();
+                        for k in 0..group {
+                            let row = &mut co_rows[co0 + k];
+                            let slots = &produced[k * chunk.cols..(k + 1) * chunk.cols];
+                            let mut ox = chunk.ox_start;
+                            for &value in slots {
+                                row[ox] += value;
+                                ox += chunk.col_step;
+                            }
+                        }
+                        co0 += group;
                     }
                 }
             }
         }
+    }
 
-        Ok(MachineRun {
-            output,
-            busy_pe_cycles: busy,
-            counts,
-            work_units,
+    let mut counts = pe.counts();
+    counts.register_file_writes -= load_words;
+    Ok((pe.busy_cycles(), counts, work_units))
+}
+
+/// Configures the index generators for one chunk × channel-group dispatch
+/// and enqueues its µop pairs: the input generator replays the shared stream
+/// once per channel, the weight generator walks the concatenated per-channel
+/// streams, and the output generator hands each program its own word.
+fn dispatch_group(
+    pe: &mut ProcessingEngine,
+    chunk: &ColumnChunk,
+    stream: usize,
+    group: usize,
+    uop_buf: &[ExecUop],
+    layer: &Layer,
+) -> Result<(), MachineError> {
+    pe.configure_generator(
+        AddrGenKind::Input,
+        GeneratorConfig {
+            addr: 0,
+            offset: 0,
+            step: 1,
+            end: stream as u16,
+            repeat: group as u16,
+        },
+    );
+    pe.configure_generator(
+        AddrGenKind::Weight,
+        GeneratorConfig {
+            addr: 0,
+            offset: 0,
+            step: 1,
+            end: (group * stream) as u16,
+            repeat: 1,
+        },
+    );
+    pe.configure_generator(
+        AddrGenKind::Output,
+        GeneratorConfig {
+            addr: 0,
+            offset: 0,
+            step: 1,
+            end: (group * chunk.cols) as u16,
+            repeat: 1,
+        },
+    );
+    pe.start_all();
+    pe.set_repeat(chunk.taps as u16);
+    pe.try_push_uops(&uop_buf[..2 * chunk.cols * group])
+        .map_err(|_| MachineError::UopOverflow {
+            layer: layer.name.clone(),
         })
-    }
+}
 
-    /// Runs one (output row, vertical tap, channel) work unit on a PE: for each
-    /// output column it configures the index generators for the consequential
-    /// column taps, streams a repeated `mac` and collects the partial sum.
-    fn run_unit(
-        &self,
-        pe: &mut ProcessingEngine,
-        input_row: &[f32],
-        weight_row: &[f32],
-        params: &ConvParams,
-        layer: &Layer,
-        mut emit: impl FnMut(usize, f32),
-    ) -> Result<(u64, EventCounts), MachineError> {
-        pe.load_input(input_row);
-        pe.load_weights(weight_row);
-        pe.clear_output();
-        let before = pe.counts();
-        let busy_before = pe.busy_cycles();
+/// The seed single-step work-unit body, preserved as the reference
+/// implementation (and the benchmark baseline).
+fn run_unit_single_step(
+    pe: &mut ProcessingEngine,
+    input_row: &[f32],
+    weight_row: &[f32],
+    params: &ConvParams,
+    layer: &Layer,
+    mut emit: impl FnMut(usize, f32),
+) -> Result<(u64, EventCounts), MachineError> {
+    pe.load_input(input_row);
+    pe.load_weights(weight_row);
+    pe.clear_output();
+    let before = pe.counts();
+    let busy_before = pe.busy_cycles();
+    let output_words = pe.config().output_words;
 
-        for ox in 0..layer.output.width {
-            let Some(run) = column_run(ox, params, layer.input.width) else {
-                continue;
-            };
-            pe.configure_generator(
-                AddrGenKind::Input,
-                GeneratorConfig {
-                    addr: run.input_start as u16,
-                    offset: 0,
-                    step: 1,
-                    end: (run.input_start + run.taps) as u16,
-                    repeat: 1,
-                },
-            );
-            pe.configure_generator(
-                AddrGenKind::Weight,
-                GeneratorConfig {
-                    addr: run.kernel_start as u16,
-                    offset: 0,
-                    step: run.kernel_step as u16,
-                    end: (run.kernel_start + (run.taps - 1) * run.kernel_step + 1) as u16,
-                    repeat: 1,
-                },
-            );
-            pe.configure_generator(
-                AddrGenKind::Output,
-                GeneratorConfig {
-                    addr: (ox % pe.config().output_words) as u16,
-                    offset: 0,
-                    step: 1,
-                    end: (ox % pe.config().output_words + 1) as u16,
-                    repeat: 1,
-                },
-            );
-            pe.start_all();
-            pe.set_repeat(run.taps as u16);
-            pe.push_uop(ExecUop::Repeat);
-            pe.push_uop(ExecUop::Mac);
-            let cycles = pe.run_until_idle(10_000);
-            if cycles >= 10_000 {
-                return Err(MachineError::Timeout {
-                    layer: layer.name.clone(),
-                });
-            }
-            emit(ox, pe.read_output((ox % pe.config().output_words) as u16));
-        }
-
-        let after = pe.counts();
-        let busy = pe.busy_cycles() - busy_before;
-        let delta = EventCounts {
-            alu_ops: after.alu_ops - before.alu_ops,
-            gated_ops: 0,
-            register_file_reads: after.register_file_reads - before.register_file_reads,
-            register_file_writes: after.register_file_writes - before.register_file_writes,
-            inter_pe_transfers: 0,
-            global_buffer_reads: 0,
-            global_buffer_writes: 0,
-            dram_reads: 0,
-            dram_writes: 0,
-            local_uop_fetches: after.local_uop_fetches - before.local_uop_fetches,
-            global_uop_fetches: 0,
+    for ox in 0..layer.output.width {
+        let Some(run) = column_run(ox, params, layer.input.width) else {
+            continue;
         };
-        Ok((busy, delta))
+        dispatch_column(pe, &run, ox, output_words, layer)?;
+        pe.run_until_idle(column_cycle_budget(run.taps));
+        if !pe.is_idle() {
+            return Err(MachineError::Timeout {
+                layer: layer.name.clone(),
+            });
+        }
+        emit(ox, pe.read_output((ox % output_words) as u16));
     }
+
+    Ok((pe.busy_cycles() - busy_before, pe.counts() - before))
+}
+
+/// Configures the three index generators for one column run and enqueues its
+/// `repeat`+`mac` program through the fallible µop push.
+fn dispatch_column(
+    pe: &mut ProcessingEngine,
+    run: &ColumnRun,
+    ox: usize,
+    output_words: usize,
+    layer: &Layer,
+) -> Result<(), MachineError> {
+    pe.configure_generator(
+        AddrGenKind::Input,
+        GeneratorConfig {
+            addr: run.input_start as u16,
+            offset: 0,
+            step: 1,
+            end: (run.input_start + run.taps) as u16,
+            repeat: 1,
+        },
+    );
+    pe.configure_generator(
+        AddrGenKind::Weight,
+        GeneratorConfig {
+            addr: run.kernel_start as u16,
+            offset: 0,
+            step: run.kernel_step as u16,
+            end: (run.kernel_start + (run.taps - 1) * run.kernel_step + 1) as u16,
+            repeat: 1,
+        },
+    );
+    pe.configure_generator(
+        AddrGenKind::Output,
+        GeneratorConfig {
+            addr: (ox % output_words) as u16,
+            offset: 0,
+            step: 1,
+            end: (ox % output_words + 1) as u16,
+            repeat: 1,
+        },
+    );
+    pe.start_all();
+    pe.set_repeat(run.taps as u16);
+    for uop in [ExecUop::Repeat, ExecUop::Mac] {
+        pe.try_push_uop(uop)
+            .map_err(|_| MachineError::UopOverflow {
+                layer: layer.name.clone(),
+            })?;
+    }
+    Ok(())
 }
 
 impl Default for GanaxMachine {
@@ -386,6 +876,7 @@ mod tests {
     use super::*;
     use ganax_models::Activation;
     use ganax_tensor::{conv, tconv};
+    use proptest::prelude::*;
 
     fn random_tensor(shape: Shape, seed: u64) -> Tensor {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
@@ -402,7 +893,7 @@ mod tests {
         t
     }
 
-    fn check_layer(layer: Layer, seed: u64) {
+    fn layer_tensors(layer: &Layer, seed: u64) -> (Tensor, Tensor) {
         let params = layer.op.conv_params().unwrap();
         let input = random_tensor(layer.input, seed);
         let weights = random_tensor(
@@ -415,10 +906,15 @@ mod tests {
             ),
             seed + 1,
         );
+        (input, weights)
+    }
+
+    fn check_layer(layer: Layer, seed: u64) {
+        let (input, weights) = layer_tensors(&layer, seed);
         let reference = if layer.is_tconv() {
-            tconv(&input, &weights, &params).unwrap()
+            tconv(&input, &weights, &layer.op.conv_params().unwrap()).unwrap()
         } else {
-            conv(&input, &weights, &params).unwrap()
+            conv(&input, &weights, &layer.op.conv_params().unwrap()).unwrap()
         };
         let run = GanaxMachine::paper()
             .execute_layer(&layer, &input, &weights)
@@ -431,6 +927,20 @@ mod tests {
         );
         assert!(run.busy_pe_cycles > 0);
         assert_eq!(run.counts.alu_ops, run.busy_pe_cycles);
+
+        // The fast path must agree bit for bit with the seed single-step
+        // serial path, and with every thread count.
+        let machine = GanaxMachine::paper();
+        let single_step = machine
+            .execute_layer_reference(&layer, &input, &weights)
+            .unwrap();
+        assert_eq!(run, single_step, "fast path diverged from reference");
+        for threads in [2, 3, 8] {
+            let threaded = machine
+                .execute_layer_threaded(&layer, &input, &weights, threads)
+                .unwrap();
+            assert_eq!(run, threaded, "{threads}-thread run diverged");
+        }
     }
 
     #[test]
@@ -561,5 +1071,49 @@ mod tests {
             machine.execute_layer(&layer, &input, &bad_weights),
             Err(MachineError::ShapeMismatch { .. })
         ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Across random conv/tconv geometries, the burst-stepped fast path
+        /// (serial and threaded) produces outputs, `busy_pe_cycles` and
+        /// `EventCounts` bit-identical to the seed single-step serial path.
+        #[test]
+        fn prop_fast_paths_match_single_step_reference(
+            tconv in 0u16..2,
+            in_channels in 1usize..3,
+            out_channels in 1usize..3,
+            extent in 3usize..7,
+            kernel in 1usize..6,
+            stride in 1usize..3,
+            threads in 2usize..6,
+            seed in 0u64..1_000,
+        ) {
+            let params = if tconv == 1 {
+                ConvParams::transposed_2d(kernel, stride, kernel / 2)
+            } else {
+                ConvParams::conv_2d(kernel, stride, kernel / 2)
+            };
+            let layer = match Layer::conv(
+                "prop-geometry",
+                Shape::new_2d(in_channels, extent, extent),
+                out_channels,
+                params,
+                Activation::None,
+            ) {
+                Ok(layer) => layer,
+                // Degenerate geometry (e.g. kernel larger than the padded
+                // input): nothing to compare.
+                Err(_) => return Ok(()),
+            };
+            let (input, weights) = layer_tensors(&layer, seed);
+            let machine = GanaxMachine::paper();
+            let reference = machine.execute_layer_reference(&layer, &input, &weights).unwrap();
+            let fast = machine.execute_layer_threaded(&layer, &input, &weights, 1).unwrap();
+            prop_assert_eq!(&reference, &fast, "serial fast path diverged");
+            let threaded = machine.execute_layer_threaded(&layer, &input, &weights, threads).unwrap();
+            prop_assert_eq!(&reference, &threaded, "threaded fast path diverged");
+        }
     }
 }

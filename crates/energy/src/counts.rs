@@ -1,7 +1,7 @@
 //! Event counts and per-category energy breakdowns.
 
 use std::iter::Sum;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// Raw activity counts accumulated by an accelerator model while executing a
 /// layer or a whole network. Counts are in *word-sized events* (one event = one
@@ -53,6 +53,37 @@ impl EventCounts {
             + self.local_uop_fetches
             + self.global_uop_fetches
     }
+
+    /// Field-wise checked subtraction: `None` if any field of `rhs` exceeds
+    /// the corresponding field of `self`. Use this to take activity deltas
+    /// between two snapshots that may not be ordered.
+    pub fn checked_sub(self, rhs: EventCounts) -> Option<EventCounts> {
+        Some(EventCounts {
+            alu_ops: self.alu_ops.checked_sub(rhs.alu_ops)?,
+            gated_ops: self.gated_ops.checked_sub(rhs.gated_ops)?,
+            register_file_reads: self
+                .register_file_reads
+                .checked_sub(rhs.register_file_reads)?,
+            register_file_writes: self
+                .register_file_writes
+                .checked_sub(rhs.register_file_writes)?,
+            inter_pe_transfers: self
+                .inter_pe_transfers
+                .checked_sub(rhs.inter_pe_transfers)?,
+            global_buffer_reads: self
+                .global_buffer_reads
+                .checked_sub(rhs.global_buffer_reads)?,
+            global_buffer_writes: self
+                .global_buffer_writes
+                .checked_sub(rhs.global_buffer_writes)?,
+            dram_reads: self.dram_reads.checked_sub(rhs.dram_reads)?,
+            dram_writes: self.dram_writes.checked_sub(rhs.dram_writes)?,
+            local_uop_fetches: self.local_uop_fetches.checked_sub(rhs.local_uop_fetches)?,
+            global_uop_fetches: self
+                .global_uop_fetches
+                .checked_sub(rhs.global_uop_fetches)?,
+        })
+    }
 }
 
 impl Add for EventCounts {
@@ -84,6 +115,38 @@ impl AddAssign for EventCounts {
 impl Sum for EventCounts {
     fn sum<I: Iterator<Item = EventCounts>>(iter: I) -> EventCounts {
         iter.fold(EventCounts::default(), Add::add)
+    }
+}
+
+impl Sub for EventCounts {
+    type Output = EventCounts;
+
+    /// Field-wise subtraction, used to take activity deltas between two
+    /// monotonically growing counter snapshots (`after - before`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if any field underflows (snapshots taken in the
+    /// wrong order); see [`EventCounts::checked_sub`] for a fallible form.
+    fn sub(self, rhs: EventCounts) -> EventCounts {
+        EventCounts {
+            alu_ops: self.alu_ops - rhs.alu_ops,
+            gated_ops: self.gated_ops - rhs.gated_ops,
+            register_file_reads: self.register_file_reads - rhs.register_file_reads,
+            register_file_writes: self.register_file_writes - rhs.register_file_writes,
+            inter_pe_transfers: self.inter_pe_transfers - rhs.inter_pe_transfers,
+            global_buffer_reads: self.global_buffer_reads - rhs.global_buffer_reads,
+            global_buffer_writes: self.global_buffer_writes - rhs.global_buffer_writes,
+            dram_reads: self.dram_reads - rhs.dram_reads,
+            dram_writes: self.dram_writes - rhs.dram_writes,
+            local_uop_fetches: self.local_uop_fetches - rhs.local_uop_fetches,
+            global_uop_fetches: self.global_uop_fetches - rhs.global_uop_fetches,
+        }
+    }
+}
+
+impl SubAssign for EventCounts {
+    fn sub_assign(&mut self, rhs: EventCounts) {
+        *self = *self - rhs;
     }
 }
 
@@ -227,6 +290,19 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn counts_subtraction_recovers_deltas() {
+        let before = sample_counts(40);
+        let after = sample_counts(40) + sample_counts(25);
+        let delta = after - before;
+        assert_eq!(delta, sample_counts(25));
+        let mut d = after;
+        d -= before;
+        assert_eq!(d, delta);
+        assert_eq!(after.checked_sub(before), Some(delta));
+        assert_eq!(before.checked_sub(after), None, "underflow is reported");
     }
 
     #[test]

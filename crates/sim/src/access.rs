@@ -122,6 +122,24 @@ impl AccessEngine {
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
     }
+
+    /// Splits the engine into its generators, FIFOs and stall counter so a
+    /// burst-stepping PE can drain addresses and fix up bookkeeping while
+    /// holding disjoint borrows. Index both arrays with
+    /// [`AddrGenKind::index`].
+    pub(crate) fn burst_parts(
+        &mut self,
+    ) -> (
+        &mut [StridedIndexGenerator; 3],
+        &mut [AddrFifo; 3],
+        &mut u64,
+    ) {
+        (
+            &mut self.generators,
+            &mut self.fifos,
+            &mut self.stall_cycles,
+        )
+    }
 }
 
 #[cfg(test)]

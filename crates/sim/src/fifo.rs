@@ -57,12 +57,38 @@ impl<T> Bounded<T> {
         Ok(())
     }
 
+    /// Pushes a batch of items with one capacity check (counted like
+    /// individual pushes). Rejects the whole batch if it does not fit.
+    fn push_all(&mut self, items: &[T]) -> Result<(), FifoError>
+    where
+        T: Copy,
+    {
+        if self.items.len() + items.len() > self.capacity {
+            return Err(FifoError {
+                capacity: self.capacity,
+            });
+        }
+        self.items.extend(items.iter().copied());
+        self.pushes += items.len() as u64;
+        Ok(())
+    }
+
     fn pop(&mut self) -> Option<T> {
         let item = self.items.pop_front();
         if item.is_some() {
             self.pops += 1;
         }
         item
+    }
+
+    /// Pops the oldest `n` items as one drain (counted like `n` pops).
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` items are queued.
+    fn drain_front(&mut self, n: usize) -> std::collections::vec_deque::Drain<'_, T> {
+        assert!(n <= self.items.len(), "drain of {n} exceeds queue length");
+        self.pops += n as u64;
+        self.items.drain(..n)
     }
 
     fn peek(&self) -> Option<&T> {
@@ -121,6 +147,11 @@ impl AddrFifo {
         self.inner.len()
     }
 
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
     /// Whether the FIFO holds no addresses.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
@@ -139,6 +170,15 @@ impl AddrFifo {
     /// Total pops served (for energy accounting).
     pub fn pops(&self) -> u64 {
         self.inner.pops
+    }
+
+    /// Records `n` addresses that logically transited the FIFO without being
+    /// materialized (a burst-stepped PE hands generator output straight to the
+    /// execute µ-engine). Keeps the push/pop energy counters identical to the
+    /// single-step path.
+    pub(crate) fn note_passthrough(&mut self, n: u64) {
+        self.inner.pushes += n;
+        self.inner.pops += n;
     }
 }
 
@@ -164,6 +204,15 @@ impl UopFifo {
         self.inner.push(uop)
     }
 
+    /// Pushes a batch of µops with one capacity check (a dispatcher issuing a
+    /// whole program at once). Rejects the whole batch if it does not fit.
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] when the batch exceeds the free entries.
+    pub fn push_all(&mut self, uops: &[ExecUop]) -> Result<(), FifoError> {
+        self.inner.push_all(uops)
+    }
+
     /// Pops the oldest µop, if any.
     pub fn pop(&mut self) -> Option<ExecUop> {
         self.inner.pop()
@@ -187,6 +236,21 @@ impl UopFifo {
     /// Whether the FIFO is at capacity.
     pub fn is_full(&self) -> bool {
         self.inner.is_full()
+    }
+
+    /// Iterates the queued µops oldest-first without consuming them (the
+    /// burst-stepping PE peeks ahead to recognize a dispatchable program).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &ExecUop> {
+        self.inner.items.iter()
+    }
+
+    /// Pops the oldest `n` µops as one drain — the burst-stepping PE fetches
+    /// a whole proven program queue at once. Counted like `n` pops.
+    pub(crate) fn drain_front(
+        &mut self,
+        n: usize,
+    ) -> std::collections::vec_deque::Drain<'_, ExecUop> {
+        self.inner.drain_front(n)
     }
 }
 

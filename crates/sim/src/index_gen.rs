@@ -110,6 +110,74 @@ impl StridedIndexGenerator {
         Some(address)
     }
 
+    /// Number of addresses the generator will still produce before stopping,
+    /// capped at `limit` (so callers proving a bounded stall-free burst never
+    /// pay for pathological `end × repeat` replay lengths). Computed by
+    /// replaying the *current* state on a scratch copy, so it is exact up to
+    /// the cap even mid-run.
+    pub fn remaining_addresses_up_to(&self, limit: u64) -> u64 {
+        if !self.running {
+            return 0;
+        }
+        // Closed forms for the cases hot in burst-stepped simulation:
+        // addresses left before the wrap that stops the run, and step-1
+        // multi-round replays (each replayed round walks `end` addresses).
+        if self.current < self.config.end {
+            if self.remaining_repeats == 1 {
+                let span = (self.config.end - self.current) as u64;
+                let step = self.config.step as u64;
+                return span.div_ceil(step).min(limit);
+            }
+            if self.config.step == 1 {
+                let first = (self.config.end - self.current) as u64;
+                let rest = (self.remaining_repeats as u64 - 1) * self.config.end as u64;
+                return (first + rest).min(limit);
+            }
+        }
+        let mut probe = self.clone();
+        let mut count = 0u64;
+        while count < limit && probe.tick().is_some() {
+            count += 1;
+        }
+        count
+    }
+
+    /// If every upcoming address is simply `(current + k) mod end` — the
+    /// generator walks with step 1 and no offset, wrapping straight to 0 —
+    /// returns `(current, end)`. Burst-stepping uses this to replace
+    /// per-tick calls with slice windows over the scratchpad;
+    /// [`Self::advance_wrapping`] settles the generator state afterwards.
+    /// Covers both single final rounds and multi-round replays (the
+    /// machine's repeated operand streams).
+    pub(crate) fn burst_wrap_window(&self) -> Option<(u16, u16)> {
+        if self.running
+            && self.config.step == 1
+            && self.config.offset == 0
+            && self.current < self.config.end
+        {
+            Some((self.current, self.config.end))
+        } else {
+            None
+        }
+    }
+
+    /// Advances the generator state by exactly `n` ticks in O(1). Valid only
+    /// under the conditions [`Self::burst_wrap_window`] reported, with `n`
+    /// not exceeding the remaining addresses.
+    pub(crate) fn advance_wrapping(&mut self, n: u64) {
+        debug_assert!(self.burst_wrap_window().is_some());
+        debug_assert!(n <= self.remaining_addresses_up_to(n + 1));
+        self.generated += n;
+        let end = self.config.end as u64;
+        let position = self.current as u64 + n;
+        let wraps = (position / end) as u16;
+        self.current = (position % end) as u16;
+        self.remaining_repeats -= wraps;
+        if self.remaining_repeats == 0 {
+            self.running = false;
+        }
+    }
+
     /// Number of addresses one full run of the current configuration yields
     /// (useful for planning and for tests). Computed by replaying the
     /// configuration on a scratch copy, so it is exact even when the step does
@@ -243,6 +311,27 @@ mod tests {
         gen.configure(AccessReg::Repeat, 1);
         gen.start();
         assert_eq!(collect(&mut gen, 10), vec![12, 14, 16]);
+    }
+
+    #[test]
+    fn remaining_addresses_tracks_mid_run_state() {
+        let mut gen = StridedIndexGenerator::new();
+        gen.load_config(GeneratorConfig {
+            addr: 0,
+            offset: 0,
+            step: 1,
+            end: 4,
+            repeat: 2,
+        });
+        assert_eq!(gen.remaining_addresses_up_to(100), 0, "stopped generator");
+        gen.start();
+        assert_eq!(gen.remaining_addresses_up_to(100), 8);
+        assert_eq!(gen.remaining_addresses_up_to(3), 3, "cap is respected");
+        gen.tick();
+        gen.tick();
+        assert_eq!(gen.remaining_addresses_up_to(100), 6);
+        // The probe must not disturb the live generator.
+        assert_eq!(gen.tick(), Some(2));
     }
 
     #[test]

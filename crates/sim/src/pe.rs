@@ -6,8 +6,8 @@ use ganax_isa::{AccessUop, AddrGenKind, ExecUop};
 
 use crate::access::AccessEngine;
 use crate::execute::{ActivationKind, ExecuteEngine};
-use crate::fifo::UopFifo;
-use crate::index_gen::GeneratorConfig;
+use crate::fifo::{FifoError, UopFifo};
+use crate::index_gen::{GeneratorConfig, StridedIndexGenerator};
 use crate::scratchpad::Scratchpad;
 
 /// Sizing of one processing engine.
@@ -39,14 +39,16 @@ impl PeConfig {
     }
 
     /// A roomier configuration used by functional-validation harnesses that
-    /// want to keep a whole (small) feature-map row resident in one PE.
+    /// want to keep a whole (small) feature-map row resident in one PE. The
+    /// deep µop FIFO lets the machine dispatch a long run of per-column
+    /// `repeat`+`mac` programs in one go.
     pub fn roomy() -> Self {
         PeConfig {
             input_words: 1024,
             weight_words: 1024,
             output_words: 1024,
             addr_fifo_entries: 8,
-            uop_fifo_entries: 16,
+            uop_fifo_entries: 256,
         }
     }
 }
@@ -103,6 +105,18 @@ impl ProcessingEngine {
     /// Bulk-loads the weight scratchpad from word 0.
     pub fn load_weights(&mut self, values: &[f32]) {
         self.weights.fill(values);
+    }
+
+    /// Bulk-loads `len` input words through an in-place gather closure
+    /// (counted as writes, like [`ProcessingEngine::load_input`]).
+    pub fn load_input_with(&mut self, len: usize, f: impl FnOnce(&mut [f32])) {
+        self.input.fill_with(len, f);
+    }
+
+    /// Bulk-loads `len` weight words through an in-place gather closure
+    /// (counted as writes, like [`ProcessingEngine::load_weights`]).
+    pub fn load_weights_with(&mut self, len: usize, f: impl FnOnce(&mut [f32])) {
+        self.weights.fill_with(len, f);
     }
 
     /// Clears the output scratchpad (between output rows).
@@ -172,15 +186,33 @@ impl ProcessingEngine {
         self.execute.set_activation(activation);
     }
 
+    /// Pushes an execute µop into the PE's µop FIFO, reporting overflow to
+    /// the dispatcher instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] when the µop FIFO is full.
+    pub fn try_push_uop(&mut self, uop: ExecUop) -> Result<(), FifoError> {
+        self.uop_fifo.push(uop)
+    }
+
     /// Pushes an execute µop into the PE's µop FIFO.
     ///
     /// # Panics
     /// Panics if the µop FIFO is full; the dispatcher is expected to respect
-    /// the FIFO depth.
+    /// the FIFO depth (use [`ProcessingEngine::try_push_uop`] to recover
+    /// instead).
     pub fn push_uop(&mut self, uop: ExecUop) {
-        self.uop_fifo
-            .push(uop)
+        self.try_push_uop(uop)
             .expect("uop fifo overflow: dispatcher must respect fifo depth");
+    }
+
+    /// Pushes a batch of execute µops with a single capacity check (a
+    /// dispatcher issuing a whole program at once).
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] (pushing nothing) when the batch does not fit.
+    pub fn try_push_uops(&mut self, uops: &[ExecUop]) -> Result<(), FifoError> {
+        self.uop_fifo.push_all(uops)
     }
 
     /// Whether the µop FIFO has room for another µop.
@@ -271,6 +303,491 @@ impl ProcessingEngine {
         stepped
     }
 
+    /// Like [`ProcessingEngine::run_until_idle`], but retires repeated `mac`
+    /// runs through [`ProcessingEngine::step_burst`]. Final state, outputs and
+    /// every counter are bit-identical to the single-step path.
+    pub fn run_until_idle_burst(&mut self, max_cycles: u64) -> u64 {
+        let mut stepped = 0;
+        while stepped < max_cycles && !self.is_idle() {
+            let advanced = self.step_burst(max_cycles - stepped);
+            if advanced == 0 {
+                break;
+            }
+            stepped += advanced;
+        }
+        stepped
+    }
+
+    /// Advances the PE by up to `budget` cycles in one call, returning how
+    /// many cycles elapsed.
+    ///
+    /// When the in-flight µop is a repeated `mac` — or the µop FIFO's next
+    /// fetch would put one in flight — and the address FIFOs plus their index
+    /// generators can prove `n` stall-free cycles, the whole run of `n`
+    /// repetitions (including the fetch cycle) retires at once — with
+    /// outputs, `cycles()`, `busy_cycles()`, [`EventCounts`] and
+    /// FIFO/generator/stall bookkeeping bit-identical to calling
+    /// [`ProcessingEngine::step`] `n` times. In every other situation it falls
+    /// back to a single [`ProcessingEngine::step`].
+    pub fn step_burst(&mut self, budget: u64) -> u64 {
+        if budget == 0 || self.is_idle() {
+            return 0;
+        }
+        if self.execute.is_busy() {
+            if matches!(self.execute.current_uop(), Some(ExecUop::Mac)) {
+                let repeats = self.execute.remaining_repeats() as u64;
+                let n = self.provable_mac_cycles(repeats, budget);
+                if n >= 2 {
+                    self.burst_mac(n);
+                    return n;
+                }
+            }
+            self.step();
+            return 1;
+        }
+        // Fetch mode: peek the µop queue for a run of `repeat`+`mac` programs
+        // (mirroring `step`'s fetch loop without consuming anything) and count
+        // how many of them are provably stall-free end to end. Operand supply
+        // is one address per cycle across program boundaries; program `j`'s
+        // write-back needs a `j`-th output address by its final cycle.
+        let supply = budget
+            .min(self.operand_supply(AddrGenKind::Input, budget))
+            .min(self.operand_supply(AddrGenKind::Weight, budget));
+        let out_queued = self.access.fifo(AddrGenKind::Output).len() as u64;
+        let out_gen_supply = self
+            .access
+            .generator(AddrGenKind::Output)
+            .remaining_addresses_up_to(budget.saturating_add(1));
+        // Pair fast-scan: a queue beginning with `repeat`+`mac` pairs (the
+        // machine's dispatch shape) has uniform per-program repeats — the
+        // repeat register — so the provable program count collapses to two
+        // divisions (supply / repeats, and the output-address pool) plus a
+        // tag check per pair.
+        let repeats = (self.execute.repeat_register() as u64).max(1);
+        let pair_cap = (supply / repeats).min(out_queued + out_gen_supply);
+        if pair_cap >= 1 {
+            let pairs = {
+                let mut pairs = 0u64;
+                let mut queue = self.uop_fifo.iter();
+                while pairs < pair_cap {
+                    match (queue.next(), queue.next()) {
+                        (Some(ExecUop::Repeat), Some(ExecUop::Mac)) => pairs += 1,
+                        _ => break,
+                    }
+                }
+                pairs
+            };
+            if pairs >= 1 {
+                let total = pairs * repeats;
+                self.retire_mac_programs(pairs, total, 2 * pairs as usize, Some(repeats));
+                return total;
+            }
+        }
+        let mut pending = self.execute.pending_repeat();
+        let mut programs = 0u64;
+        let mut total = 0u64;
+        let mut first_repeats: Option<u64> = None;
+        let mut uniform = true;
+        let mut walked = 0usize;
+        let mut consumed = 0usize;
+        for uop in self.uop_fifo.iter() {
+            walked += 1;
+            match uop {
+                ExecUop::Repeat => pending = Some(self.execute.repeat_register() as u32),
+                ExecUop::Nop => {}
+                ExecUop::Mac => {
+                    let repeats = pending.take().unwrap_or(1).max(1) as u64;
+                    match first_repeats {
+                        None => first_repeats = Some(repeats),
+                        Some(first) => uniform &= repeats == first,
+                    }
+                    let cumulative = total + repeats;
+                    // Output-FIFO full-stalls never starve the write-back (a
+                    // full FIFO has addresses queued), so availability is
+                    // exactly a supply question.
+                    if cumulative > supply
+                        || out_queued + out_gen_supply.min(cumulative) < programs + 1
+                    {
+                        break;
+                    }
+                    programs += 1;
+                    total = cumulative;
+                    consumed = walked;
+                }
+                _ => break,
+            }
+        }
+        if programs >= 1 {
+            // A uniform queue of plain pairs retires without re-deriving each
+            // program's repeat count.
+            let uniform_repeats = (uniform && consumed == 2 * programs as usize)
+                .then(|| first_repeats.expect("programs imply a first repeat count"));
+            self.retire_mac_programs(programs, total, consumed, uniform_repeats);
+            return total;
+        }
+        // Operands or output starve even the first program: burst the stall-free
+        // prefix of its repetitions, if any.
+        if let Some(repeats) = first_repeats {
+            let n = self.provable_mac_cycles(repeats, budget);
+            if n >= 1 {
+                while let Some(uop) = self.uop_fifo.pop() {
+                    self.uop_fetches += 1;
+                    if self.execute.issue(uop) {
+                        break;
+                    }
+                }
+                debug_assert!(matches!(self.execute.current_uop(), Some(ExecUop::Mac)));
+                self.burst_mac(n);
+                return n;
+            }
+        }
+        self.step();
+        1
+    }
+
+    /// Retires `programs` consecutive `repeat`+`mac` programs (`total`
+    /// repetitions in all, `consumed` µops from the FIFO) in one call,
+    /// replicating the single-step path's per-cycle bookkeeping: µop-fetch
+    /// accounting per program, one operand address per cycle (FIFO first,
+    /// then generator pass-through), exact output-generator tick/stall
+    /// interleaving, and a write-back per program.
+    ///
+    /// When an operand side starts with an empty FIFO and a generator in a
+    /// pure linear final round — the machine's gathered-stream dispatch —
+    /// its addresses reduce to slice windows and the accumulation runs as a
+    /// tight dot-product loop, with the generator state settled once at the
+    /// end. Any other shape takes the general per-cycle path.
+    fn retire_mac_programs(
+        &mut self,
+        programs: u64,
+        total: u64,
+        consumed: usize,
+        uniform_repeats: Option<u64>,
+    ) {
+        let in_idx = AddrGenKind::Input.index();
+        let wt_idx = AddrGenKind::Weight.index();
+        let out_idx = AddrGenKind::Output.index();
+        let repeat_register = self.execute.repeat_register();
+        let mut pending = self.execute.pending_repeat();
+        let mut acc = self.execute.accumulator();
+        let (gens, fifos, stall_cycles) = self.access.burst_parts();
+
+        // Operand prologue — a full FIFO whose generator still runs stalls it
+        // for exactly the first cycle (the per-cycle pop keeps a slot free
+        // afterwards), and generators produce one address per non-stalled
+        // cycle until exhausted.
+        let mut produced = [0u64; 2];
+        let mut take = [0u64; 2];
+        for (slot, idx) in [in_idx, wt_idx].into_iter().enumerate() {
+            let stall = u64::from(gens[idx].is_running() && fifos[idx].is_full());
+            *stall_cycles += stall;
+            produced[slot] = gens[idx].remaining_addresses_up_to(total - stall);
+            take[slot] = (fifos[idx].len() as u64).min(total);
+        }
+        // Step-1 wrap windows let the accumulation loop read slice windows
+        // (splitting at the wrap boundary). The windowed loop engages only
+        // when both sides qualify — and their FIFOs are empty, so every
+        // address comes straight off the generator; otherwise the general
+        // per-cycle path ticks both generators.
+        let wrap_window = |gen: &StridedIndexGenerator, take: u64| -> Option<(usize, usize)> {
+            if take != 0 {
+                return None;
+            }
+            gen.burst_wrap_window()
+                .map(|(current, end)| (current as usize, end as usize))
+        };
+        let windows = match (
+            wrap_window(&gens[in_idx], take[0]),
+            wrap_window(&gens[wt_idx], take[1]),
+        ) {
+            (Some(input), Some(weight)) => Some((input, weight)),
+            _ => None,
+        };
+
+        // Output fast path: FIFO empty, wrap-window generator, and exactly
+        // one address produced per program — then program `j` pops address
+        // `(current + j) mod end` and the FIFO never materializes; its
+        // occupancy, the generator's full-FIFO stalls and the pass-through
+        // counters reduce to integer bookkeeping.
+        let out_cap = fifos[out_idx].capacity() as u64;
+        let out_fast = if fifos[out_idx].is_empty() {
+            gens[out_idx]
+                .burst_wrap_window()
+                .and_then(|(current, end)| {
+                    let supply = gens[out_idx].remaining_addresses_up_to(total + out_cap + 1);
+                    (supply == programs).then_some((current as u64, end as u64))
+                })
+        } else {
+            None
+        };
+        let mut out_len = 0u64;
+        let mut out_produced = 0u64;
+
+        let in_data = self.input.contents();
+        let wt_data = self.weights.contents();
+        let mut taken = [0u64; 2];
+        let mut done = 0u64;
+        let mut popped = 0u64;
+        // Window cursors (positions advance modulo each window's wrap point).
+        let (mut in_pos, in_end) = windows.map(|(i, _)| i).unwrap_or((0, 1));
+        let (mut wt_pos, wt_end) = windows.map(|(_, w)| w).unwrap_or((0, 1));
+        // Fetch the whole proven program queue at once; with a uniform queue
+        // the per-program repeat counts need no re-derivation and the drain
+        // drops in bulk.
+        let mut uops = self.uop_fifo.drain_front(consumed);
+        if uniform_repeats.is_some() {
+            drop(uops);
+            uops = self.uop_fifo.drain_front(0);
+        }
+        self.uop_fetches += consumed as u64;
+        for _ in 0..programs {
+            // Fetch — the walk already proved this prefix issues a `mac`.
+            let repeats = match uniform_repeats {
+                Some(repeats) => repeats,
+                None => loop {
+                    match uops.next().expect("walk counted the drained µops") {
+                        ExecUop::Repeat => pending = Some(repeat_register as u32),
+                        ExecUop::Nop => {}
+                        ExecUop::Mac => break pending.take().unwrap_or(1).max(1) as u64,
+                        other => unreachable!("walk admitted non-program µop {other:?}"),
+                    }
+                },
+            };
+
+            // Accumulate `repeats` operand pairs — same operation and order
+            // as `ExecuteEngine::execute`, so the f32 result is bit-identical.
+            match windows {
+                Some(_) => {
+                    let mut left = repeats as usize;
+                    while left > 0 {
+                        let run = left.min(in_end - in_pos).min(wt_end - wt_pos);
+                        let lhs = &in_data[in_pos..in_pos + run];
+                        let rhs = &wt_data[wt_pos..wt_pos + run];
+                        for (a, b) in lhs.iter().zip(rhs) {
+                            acc += a * b;
+                        }
+                        in_pos += run;
+                        if in_pos == in_end {
+                            in_pos = 0;
+                        }
+                        wt_pos += run;
+                        if wt_pos == wt_end {
+                            wt_pos = 0;
+                        }
+                        left -= run;
+                    }
+                }
+                None => {
+                    for _ in 0..repeats {
+                        let ia = if taken[0] < take[0] {
+                            taken[0] += 1;
+                            fifos[in_idx].pop().expect("input fifo length checked")
+                        } else {
+                            gens[in_idx].tick().expect("input supply proved")
+                        };
+                        let wa = if taken[1] < take[1] {
+                            taken[1] += 1;
+                            fifos[wt_idx].pop().expect("weight fifo length checked")
+                        } else {
+                            gens[wt_idx].tick().expect("weight supply proved")
+                        };
+                        acc += in_data[ia as usize] * wt_data[wa as usize];
+                    }
+                }
+            }
+            done += repeats;
+
+            // Output side, closed form per program: the generator pushes
+            // until the FIFO fills or it exhausts; every remaining cycle of a
+            // running generator against a full FIFO is a stall — exactly the
+            // per-cycle tick semantics.
+            let out_addr = match out_fast {
+                Some((current, end)) => {
+                    let pushes = repeats.min(out_cap - out_len).min(programs - out_produced);
+                    if programs - out_produced > pushes {
+                        *stall_cycles += repeats - pushes;
+                    }
+                    out_len += pushes;
+                    out_produced += pushes;
+                    debug_assert!(out_len >= 1, "output availability proved");
+                    out_len -= 1;
+                    let addr = ((current + popped) % end) as u16;
+                    popped += 1;
+                    addr
+                }
+                None => {
+                    let mut pushed = 0u64;
+                    while pushed < repeats
+                        && !fifos[out_idx].is_full()
+                        && gens[out_idx].is_running()
+                    {
+                        let addr = gens[out_idx].tick().expect("running generator produces");
+                        fifos[out_idx].push(addr).expect("fullness checked");
+                        pushed += 1;
+                    }
+                    if gens[out_idx].is_running() {
+                        *stall_cycles += repeats - pushed;
+                    }
+                    fifos[out_idx].pop().expect("output availability proved")
+                }
+            };
+            self.output.write(out_addr, acc);
+            acc = 0.0;
+        }
+        debug_assert_eq!(done, total);
+        debug_assert!(uops.next().is_none());
+        drop(uops);
+        if out_fast.is_some() {
+            debug_assert!(out_len == 0 && out_produced == programs);
+            fifos[out_idx].note_passthrough(programs);
+            gens[out_idx].advance_wrapping(programs);
+        }
+
+        // Operand epilogue: pass-through accounting, generator state and
+        // surplus spill into the FIFOs, as the single-step path would have
+        // left them.
+        for (slot, idx) in [in_idx, wt_idx].into_iter().enumerate() {
+            if windows.is_some() {
+                // Wrap window: everything came straight off the generator.
+                fifos[idx].note_passthrough(total);
+                gens[idx].advance_wrapping(total);
+                continue;
+            }
+            let direct = total - take[slot];
+            fifos[idx].note_passthrough(direct);
+            for _ in 0..produced[slot] - direct {
+                let addr = gens[idx].tick().expect("surplus production counted");
+                fifos[idx]
+                    .push(addr)
+                    .expect("surplus fits: the single-step path never overflows");
+            }
+        }
+        self.execute.settle_mac_programs(total);
+        self.input.charge_reads(total);
+        self.weights.charge_reads(total);
+        self.cycles += total;
+        self.busy_cycles += total;
+    }
+
+    /// Number of cycles (capped at `budget`) for which a `mac` with `repeats`
+    /// repetitions left provably executes without a stall.
+    fn provable_mac_cycles(&self, repeats: u64, budget: u64) -> u64 {
+        let limit = repeats.min(budget);
+        let mut n = limit
+            .min(self.operand_supply(AddrGenKind::Input, limit))
+            .min(self.operand_supply(AddrGenKind::Weight, limit));
+        // The write-back on the last repetition additionally needs an output
+        // address by cycle `n`; without one the single-step path would stall
+        // there, so the burst stops one repetition short.
+        if n == repeats && !self.output_address_available() {
+            n -= 1;
+        }
+        n
+    }
+
+    /// Addresses provably deliverable for `kind` over the next `limit`
+    /// stall-free cycles: what is queued plus what its generator still emits.
+    fn operand_supply(&self, kind: AddrGenKind, limit: u64) -> u64 {
+        let fifo = self.access.fifo(kind);
+        let gen = self.access.generator(kind);
+        fifo.len() as u64 + gen.remaining_addresses_up_to(limit)
+    }
+
+    /// Whether an output address is already queued or will be pushed on the
+    /// first burst cycle.
+    fn output_address_available(&self) -> bool {
+        let fifo = self.access.fifo(AddrGenKind::Output);
+        !fifo.is_empty()
+            || (self.access.generator(AddrGenKind::Output).is_running() && !fifo.is_full())
+    }
+
+    /// Retires `n` provably stall-free repetitions of the in-flight `mac`,
+    /// replicating the single-step path's bookkeeping exactly:
+    ///
+    /// * operand addresses drain oldest-first — queued FIFO entries, then
+    ///   generator output handed straight to the ALU (counted as FIFO
+    ///   pass-through);
+    /// * generators that outrun consumption spill their surplus into the
+    ///   FIFOs;
+    /// * a full operand FIFO whose generator is still running stalls it for
+    ///   exactly the first cycle, and the un-popped output FIFO accumulates
+    ///   stalls once it fills — both are charged without simulating them.
+    fn burst_mac(&mut self, n: u64) {
+        let repeats = self.execute.remaining_repeats() as u64;
+        debug_assert!(n >= 1 && n <= repeats);
+        let completes = n == repeats;
+        let mut acc = self.execute.accumulator();
+
+        let in_idx = AddrGenKind::Input.index();
+        let wt_idx = AddrGenKind::Weight.index();
+        let out_idx = AddrGenKind::Output.index();
+        let (gens, fifos, stall_cycles) = self.access.burst_parts();
+
+        // First-cycle stall of a full operand FIFO (the pop each cycle keeps
+        // one slot free afterwards); generators produce one address per
+        // non-stalled cycle until they run out.
+        let mut produced = [0u64; 2];
+        for (slot, idx) in [in_idx, wt_idx].into_iter().enumerate() {
+            let stall = u64::from(gens[idx].is_running() && fifos[idx].is_full());
+            *stall_cycles += stall;
+            produced[slot] = gens[idx].remaining_addresses_up_to(n - stall);
+        }
+
+        let in_take = (fifos[in_idx].len() as u64).min(n);
+        let wt_take = (fifos[wt_idx].len() as u64).min(n);
+        for k in 0..n {
+            let ia = if k < in_take {
+                fifos[in_idx].pop().expect("input fifo length checked")
+            } else {
+                gens[in_idx].tick().expect("input supply proved")
+            };
+            let wa = if k < wt_take {
+                fifos[wt_idx].pop().expect("weight fifo length checked")
+            } else {
+                gens[wt_idx].tick().expect("weight supply proved")
+            };
+            let a = self.input.read(ia);
+            let b = self.weights.read(wa);
+            // Same operation and order as `ExecuteEngine::execute`, so the
+            // f32 accumulation is bit-identical.
+            acc += a * b;
+        }
+        fifos[in_idx].note_passthrough(n - in_take);
+        fifos[wt_idx].note_passthrough(n - wt_take);
+        for (slot, idx) in [in_idx, wt_idx].into_iter().enumerate() {
+            let direct = n - [in_take, wt_take][slot];
+            for _ in 0..produced[slot] - direct {
+                let addr = gens[idx].tick().expect("surplus production counted");
+                fifos[idx]
+                    .push(addr)
+                    .expect("surplus fits: the single-step path never overflows");
+            }
+        }
+
+        // Output side: nothing pops before the final repetition, so the
+        // generator pushes until the FIFO fills and stalls from then on.
+        let out_room = (fifos[out_idx].capacity() - fifos[out_idx].len()) as u64;
+        let out_remaining = gens[out_idx].remaining_addresses_up_to(n + out_room + 1);
+        for _ in 0..out_remaining.min(out_room).min(n) {
+            let addr = gens[out_idx].tick().expect("output production counted");
+            fifos[out_idx].push(addr).expect("output room checked");
+        }
+        if out_remaining > out_room {
+            *stall_cycles += n.saturating_sub(out_room);
+        }
+
+        self.cycles += n;
+        self.busy_cycles += n;
+        let result = self.execute.finish_mac_burst(acc, n as u32);
+        if completes {
+            let value = result.expect("final repetition produces the accumulated value");
+            let out_addr = fifos[out_idx].pop().expect("output availability proved");
+            self.output.write(out_addr, value);
+        } else {
+            debug_assert!(result.is_none());
+        }
+    }
+
     /// Total cycles stepped.
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -304,6 +821,7 @@ impl ProcessingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Streams `n` input/weight pairs through a repeated `mac` and returns the
     /// accumulated dot product written to output word 0.
@@ -433,5 +951,225 @@ mod tests {
         assert!(pe.is_idle());
         pe.push_uop(ExecUop::Mac);
         assert!(!pe.is_idle());
+    }
+
+    #[test]
+    fn try_push_uop_reports_overflow() {
+        let mut pe = ProcessingEngine::new(PeConfig {
+            uop_fifo_entries: 2,
+            ..PeConfig::paper()
+        });
+        assert!(pe.try_push_uop(ExecUop::Repeat).is_ok());
+        assert!(pe.try_push_uop(ExecUop::Mac).is_ok());
+        assert_eq!(
+            pe.try_push_uop(ExecUop::Mac),
+            Err(FifoError { capacity: 2 })
+        );
+    }
+
+    /// One `repeat`+`mac` program: generator configurations plus the armed
+    /// repeat count, applied identically to a reference and a burst PE.
+    struct MacProgram {
+        input: GeneratorConfig,
+        weight: GeneratorConfig,
+        output: GeneratorConfig,
+        repeat: u16,
+    }
+
+    fn apply_program(pe: &mut ProcessingEngine, p: &MacProgram) {
+        pe.configure_generator(AddrGenKind::Input, p.input);
+        pe.configure_generator(AddrGenKind::Weight, p.weight);
+        pe.configure_generator(AddrGenKind::Output, p.output);
+        pe.start_all();
+        pe.set_repeat(p.repeat);
+        pe.push_uop(ExecUop::Repeat);
+        pe.push_uop(ExecUop::Mac);
+    }
+
+    /// Runs the same programs on a single-stepped and a burst-stepped PE and
+    /// asserts the complete PE state (scratchpads, FIFOs, generators, stall
+    /// and energy counters, cycles) ends bit-identical.
+    fn assert_burst_equivalence(config: PeConfig, programs: &[MacProgram], budget: u64) {
+        let words = config.input_words.min(config.weight_words);
+        let data: Vec<f32> = (0..words).map(|i| (i as f32) * 0.37 - 1.5).collect();
+        let weights: Vec<f32> = (0..words).map(|i| 0.9 - (i as f32) * 0.11).collect();
+        let mut reference = ProcessingEngine::new(config);
+        reference.load_input(&data);
+        reference.load_weights(&weights);
+        let mut fast = reference.clone();
+        for p in programs {
+            apply_program(&mut reference, p);
+            apply_program(&mut fast, p);
+            let ref_cycles = reference.run_until_idle(budget);
+            let fast_cycles = fast.run_until_idle_burst(budget);
+            assert_eq!(ref_cycles, fast_cycles, "cycle counts diverged");
+            assert_eq!(reference, fast, "PE state diverged");
+        }
+        assert_eq!(reference.cycles(), fast.cycles());
+        assert_eq!(reference.busy_cycles(), fast.busy_cycles());
+        assert_eq!(reference.counts(), fast.counts());
+        assert_eq!(reference.output_contents(), fast.output_contents());
+    }
+
+    #[test]
+    fn burst_matches_single_step_on_column_program() {
+        // The machine's per-output-column shape: linear input walk, strided
+        // weights, one output word.
+        let program = MacProgram {
+            input: GeneratorConfig {
+                addr: 3,
+                offset: 0,
+                step: 1,
+                end: 8,
+                repeat: 1,
+            },
+            weight: GeneratorConfig {
+                addr: 1,
+                offset: 0,
+                step: 2,
+                end: 6,
+                repeat: 1,
+            },
+            output: GeneratorConfig {
+                addr: 4,
+                offset: 0,
+                step: 1,
+                end: 5,
+                repeat: 1,
+            },
+            repeat: 3,
+        };
+        assert_burst_equivalence(PeConfig::paper(), &[program], 1_000);
+    }
+
+    #[test]
+    fn burst_matches_single_step_when_operands_starve() {
+        // Input generator supplies only 2 of the 4 armed repetitions: both
+        // paths must stall until the budget runs out, with identical state.
+        let program = MacProgram {
+            input: GeneratorConfig {
+                addr: 0,
+                offset: 0,
+                step: 1,
+                end: 2,
+                repeat: 1,
+            },
+            weight: GeneratorConfig {
+                addr: 0,
+                offset: 0,
+                step: 1,
+                end: 8,
+                repeat: 1,
+            },
+            output: GeneratorConfig {
+                addr: 0,
+                offset: 0,
+                step: 1,
+                end: 1,
+                repeat: 1,
+            },
+            repeat: 4,
+        };
+        assert_burst_equivalence(PeConfig::paper(), &[program], 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Burst stepping is indistinguishable from single stepping across
+        /// random generator geometries, FIFO depths and repeat counts —
+        /// including programs that over- or under-supply operands, leave
+        /// addresses queued between programs, or stall on a missing output
+        /// address.
+        #[test]
+        fn prop_burst_equals_single_step(
+            fifo_entries in 2usize..9,
+            in_step in 1u16..4,
+            in_end in 1u16..12,
+            in_repeat in 1u16..4,
+            wt_step in 1u16..3,
+            wt_end in 1u16..10,
+            wt_repeat in 1u16..4,
+            out_end in 1u16..4,
+            repeat_a in 1u16..24,
+            repeat_b in 1u16..24,
+        ) {
+            let config = PeConfig {
+                input_words: 64,
+                weight_words: 64,
+                output_words: 8,
+                addr_fifo_entries: fifo_entries,
+                uop_fifo_entries: 16,
+            };
+            let programs = [
+                MacProgram {
+                    input: GeneratorConfig { addr: 0, offset: 0, step: in_step, end: in_end, repeat: in_repeat },
+                    weight: GeneratorConfig { addr: 0, offset: 0, step: wt_step, end: wt_end, repeat: wt_repeat },
+                    output: GeneratorConfig { addr: 0, offset: 0, step: 1, end: out_end, repeat: 1 },
+                    repeat: repeat_a,
+                },
+                // A second program over the leftovers of the first: covers
+                // non-empty FIFOs, re-started generators and stale repeat
+                // state.
+                MacProgram {
+                    input: GeneratorConfig { addr: 0, offset: 0, step: wt_step, end: in_end, repeat: wt_repeat },
+                    weight: GeneratorConfig { addr: 0, offset: 0, step: in_step, end: wt_end, repeat: in_repeat },
+                    output: GeneratorConfig { addr: 0, offset: 0, step: 1, end: out_end, repeat: 1 },
+                    repeat: repeat_b,
+                },
+            ];
+            assert_burst_equivalence(config, &programs, 256);
+        }
+
+        /// Chunk-style dispatch — several `repeat`+`mac` pairs queued at once
+        /// over shared linear generators, the way the machine's fast path
+        /// issues whole runs of output columns — retires identically to
+        /// single stepping, including with adversarially small address FIFOs.
+        #[test]
+        fn prop_queued_programs_equal_single_step(
+            cols in 1u16..9,
+            taps in 1u16..6,
+            fifo_entries in 2usize..9,
+            out_start in 0u16..4,
+            undersupply in 0u16..3,
+            in_rounds in 1u16..4,
+        ) {
+            let total = cols * taps;
+            // `undersupply` starves the tail of the operand stream to cover
+            // partial retirement and mid-queue stalls; `in_rounds` replays a
+            // shortened input stream (the machine's repeated-stream dispatch),
+            // exercising the wrap-window fast path across round boundaries.
+            let operand_end = total.saturating_sub(undersupply).max(1);
+            let in_end = operand_end.div_ceil(in_rounds).max(1);
+            let config = PeConfig {
+                input_words: 64,
+                weight_words: 64,
+                output_words: 16,
+                addr_fifo_entries: fifo_entries,
+                uop_fifo_entries: 32,
+            };
+            let data: Vec<f32> = (0..64).map(|i| (i as f32) * 0.41 - 3.0).collect();
+            let weights: Vec<f32> = (0..64).map(|i| 1.7 - (i as f32) * 0.23).collect();
+            let mut reference = ProcessingEngine::new(config);
+            reference.load_input(&data);
+            reference.load_weights(&weights);
+            let mut fast = reference.clone();
+            for pe in [&mut reference, &mut fast] {
+                pe.configure_linear(AddrGenKind::Input, 0, 1, in_end, in_rounds);
+                pe.configure_linear(AddrGenKind::Weight, 0, 1, operand_end, 1);
+                pe.configure_linear(AddrGenKind::Output, out_start, 1, out_start + cols, 1);
+                pe.start_all();
+                pe.set_repeat(taps);
+                for _ in 0..cols {
+                    pe.push_uop(ExecUop::Repeat);
+                    pe.push_uop(ExecUop::Mac);
+                }
+            }
+            let budget = 512;
+            let ref_cycles = reference.run_until_idle(budget);
+            let fast_cycles = fast.run_until_idle_burst(budget);
+            prop_assert_eq!(ref_cycles, fast_cycles, "cycle counts diverged");
+            prop_assert_eq!(&reference, &fast, "PE state diverged");
+        }
     }
 }

@@ -44,6 +44,23 @@ impl Scratchpad {
         self.writes += values.len() as u64;
     }
 
+    /// Loads `len` words starting at word 0 through a closure that fills the
+    /// destination in place (a gather from the global buffer; counted as
+    /// writes, like [`Scratchpad::fill`]).
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the capacity.
+    pub fn fill_with(&mut self, len: usize, f: impl FnOnce(&mut [f32])) {
+        assert!(
+            len <= self.data.len(),
+            "fill of {} words exceeds scratchpad capacity {}",
+            len,
+            self.data.len()
+        );
+        f(&mut self.data[..len]);
+        self.writes += len as u64;
+    }
+
     /// Reads the word at `addr` (counted).
     ///
     /// # Panics
@@ -65,6 +82,12 @@ impl Scratchpad {
     /// Reads a word without counting (for test inspection / result draining).
     pub fn peek(&self, addr: u16) -> f32 {
         self.data[addr as usize]
+    }
+
+    /// Charges `n` reads without touching data — a burst-stepping PE reads
+    /// through [`Scratchpad::contents`] and settles the counter once.
+    pub(crate) fn charge_reads(&mut self, n: u64) {
+        self.reads += n;
     }
 
     /// The full contents (for draining results).

@@ -145,6 +145,13 @@ impl Tensor {
         self.at(c, 0, y, x)
     }
 
+    /// Borrows one contiguous 2-D feature-map row (depth index 0) — the
+    /// allocation-free way to stream a row into a PE scratchpad.
+    pub fn row_2d(&self, c: usize, y: usize) -> &[f32] {
+        let start = self.shape.index(c, 0, y, 0);
+        &self.data[start..start + self.shape.width]
+    }
+
     /// Writes a feature-map element.
     pub fn set(&mut self, c: usize, z: usize, y: usize, x: usize, value: f32) {
         let idx = self.shape.index(c, z, y, x);
@@ -260,6 +267,16 @@ mod tests {
         let t = Tensor::from_fn_2d(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f32);
         assert_eq!(t.at_2d(1, 2, 3), 123.0);
         assert_eq!(t.at_2d(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_2d_matches_elementwise_reads() {
+        let t = Tensor::from_fn_2d(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        let row = t.row_2d(1, 2);
+        assert_eq!(row.len(), 4);
+        for (x, &v) in row.iter().enumerate() {
+            assert_eq!(v, t.at_2d(1, 2, x));
+        }
     }
 
     #[test]
