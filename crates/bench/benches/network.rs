@@ -1,0 +1,43 @@
+//! End-to-end network execution bench: a reduced-geometry DCGAN generator
+//! chained through the cycle-level machine's fast path.
+//!
+//! The full-size wall-clock report lives in the `bench_network` binary (it
+//! needs a JSON emitter); this bench tracks the end-to-end path under
+//! Criterion so regressions show up in `cargo bench network`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganax::GanaxMachine;
+use ganax_bench::{deterministic_tensor, network_weights};
+use ganax_models::zoo;
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+
+    let network = zoo::reduced_generator("DCGAN", 8).expect("DCGAN is in the zoo");
+    let weights = network_weights(&network, 7);
+    let input = deterministic_tensor(network.input_shape(), 13);
+    let machine = GanaxMachine::paper();
+
+    group.bench_function("dcgan_generator_reduced8_serial", |b| {
+        b.iter(|| {
+            let run = machine
+                .execute_network_threaded(&network, &input, &weights, 1)
+                .expect("reduced generator executes");
+            std::hint::black_box(run.total_busy_pe_cycles())
+        })
+    });
+
+    group.bench_function("dcgan_generator_reduced8_threaded", |b| {
+        b.iter(|| {
+            let run = machine
+                .execute_network(&network, &input, &weights)
+                .expect("reduced generator executes");
+            std::hint::black_box(run.total_busy_pe_cycles())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

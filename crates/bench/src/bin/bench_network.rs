@@ -1,0 +1,64 @@
+//! Executes the DCGAN generator end to end on the cycle-level machine and
+//! emits `BENCH_network.json`.
+//!
+//! ```text
+//! cargo run --release -p ganax-bench --bin bench_network             # full size
+//! cargo run --release -p ganax-bench --bin bench_network -- --quick  # CI smoke
+//! cargo run --release -p ganax-bench --bin bench_network -- --out path.json
+//! ```
+//!
+//! The report records per-layer busy cycles, load balance and wall-clock,
+//! total simulated-cycles-per-second, the machine-vs-analytic cross-check,
+//! and the simulated speedup/energy direction against the Eyeriss baseline.
+
+use ganax_bench::network_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_network.json".to_string());
+
+    let report = network_bench(quick);
+    for row in &report.rows {
+        println!(
+            "{:<12} {}  {:>12} cycles  balance {:>5.3}  {:>9.1} ms",
+            row.layer,
+            if row.host { "host " } else { "array" },
+            row.busy_pe_cycles,
+            row.balance,
+            row.wall_ms,
+        );
+    }
+    println!(
+        "{}: {} busy cycles in {:.1} ms ({:.1}M cycles/s, {} threads)",
+        report.network,
+        report.total_busy_pe_cycles,
+        report.total_wall_ms,
+        report.cycles_per_sec / 1e6,
+        report.threads,
+    );
+    println!(
+        "cross-check {}  simulated speedup {:.2}x  energy reduction {:.2}x",
+        if report.cross_check_consistent {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        },
+        report.simulated_speedup,
+        report.simulated_energy_reduction,
+    );
+    // Write the report before asserting, so a failing cross-check still
+    // leaves the per-layer evidence on disk (and in the CI artifact).
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("BENCH_network.json is writable");
+    println!("wrote {out_path}");
+    assert!(
+        report.cross_check_consistent,
+        "machine activity diverged from the analytic model"
+    );
+}

@@ -18,10 +18,10 @@
 
 use std::time::Instant;
 
-use ganax::compare::{compare_all, geometric_mean, ModelComparison};
-use ganax::GanaxMachine;
+use ganax::compare::{compare_all, geometric_mean, ModelComparison, SimulatedComparison};
+use ganax::{GanaxMachine, NetworkWeights};
 use ganax_energy::EnergyCategory;
-use ganax_models::{zoo, Layer};
+use ganax_models::{zoo, Layer, Network};
 use ganax_tensor::{Shape, Tensor};
 use serde::Serialize;
 
@@ -217,6 +217,80 @@ pub fn deterministic_tensor(shape: Shape, seed: u64) -> Tensor {
     t
 }
 
+/// A deterministic pseudo-random tensor of *small integers* (stored as
+/// `f32`): values drawn from `{-1, 0, +1}` with roughly one non-zero in four.
+///
+/// Small-integer operands are the conformance suite's exactness trick: every
+/// product is `±1` or `0` and every partial sum stays a small integer, so all
+/// f32 accumulation orders produce *bit-identical* results as long as
+/// magnitudes stay below 2^24 — which the sparse ternary distribution
+/// guarantees for every reduced Table I generator.
+pub fn small_integer_tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0xD1B54A32D192ED03);
+    let mut t = Tensor::zeros(shape);
+    for v in t.data_mut() {
+        *v = match splitmix64(&mut state) % 8 {
+            0 => -1.0f32,
+            1 => 1.0,
+            _ => 0.0,
+        };
+    }
+    t
+}
+
+/// One step of the splitmix64 stream behind the deterministic integer
+/// generators: advances `state` and returns the mixed output.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic float weights (and no biases) for every layer of a network,
+/// shaped per [`NetworkWeights::expected_shape`]. Used by the network benches.
+pub fn network_weights(network: &Network, seed: u64) -> NetworkWeights {
+    let tensors = network
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| deterministic_tensor(NetworkWeights::expected_shape(l), seed + i as u64))
+        .collect();
+    NetworkWeights::new(network, tensors).expect("weights generated from the network's own shapes")
+}
+
+/// Deterministic *small-integer* weights plus integer per-channel biases for
+/// every layer of a network — the operand set of the bit-exact conformance
+/// suite (see [`small_integer_tensor`]).
+pub fn conformance_weights(network: &Network, seed: u64) -> NetworkWeights {
+    let tensors: Vec<Tensor> = network
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| small_integer_tensor(NetworkWeights::expected_shape(l), seed + i as u64))
+        .collect();
+    let mut weights = NetworkWeights::new(network, tensors)
+        .expect("weights generated from the network's own shapes");
+    for (i, layer) in network.layers().iter().enumerate() {
+        let bias = small_integer_tensor(
+            Shape::new_2d(layer.output.channels, 1, 1),
+            seed + 1000 + i as u64,
+        );
+        weights = weights
+            .with_bias(i, bias.data().to_vec())
+            .expect("bias sized from the layer's own channels");
+    }
+    weights
+}
+
+/// Deterministic small-integer input matching a network's input shape.
+pub fn conformance_input(network: &Network, seed: u64) -> Tensor {
+    small_integer_tensor(network.input_shape(), seed)
+}
+
 /// Random input and weight tensors matching one conv/tconv layer.
 pub fn layer_tensors(layer: &Layer, seed: u64) -> (Tensor, Tensor) {
     let params = layer.op.conv_params().expect("conv/tconv layer");
@@ -357,6 +431,104 @@ pub fn machine_bench(quick: bool) -> Vec<MachineBenchRow> {
             }
         })
         .collect()
+}
+
+/// One per-layer row of the end-to-end network benchmark
+/// (`BENCH_network.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct NetworkBenchRow {
+    /// Layer name.
+    pub layer: String,
+    /// Human-readable I/O shapes (`input -> output`).
+    pub geometry: String,
+    /// Whether the layer ran on the host (projection) instead of the PE array.
+    pub host: bool,
+    /// Whether the layer is a transposed convolution.
+    pub is_tconv: bool,
+    /// Busy PE cycles the layer simulated (its in-bounds MACs).
+    pub busy_pe_cycles: u64,
+    /// Work units executed.
+    pub work_units: u64,
+    /// Load balance of the threaded PE-array scheduler (1.0 = perfect).
+    pub balance: f64,
+    /// Wall-clock milliseconds of the layer (including staged planning).
+    pub wall_ms: f64,
+}
+
+/// The end-to-end network benchmark report behind `BENCH_network.json`: the
+/// DCGAN generator executed layer by layer on the cycle-level machine, with
+/// the simulated-vs-analytic cross-check and the Eyeriss-baseline direction.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetworkBenchReport {
+    /// Benchmark family name.
+    pub bench: String,
+    /// Network executed.
+    pub network: String,
+    /// Whether the quick (reduced-geometry) variant was used.
+    pub quick: bool,
+    /// Worker threads used for the PE-array layers.
+    pub threads: usize,
+    /// Per-layer measurements.
+    pub rows: Vec<NetworkBenchRow>,
+    /// Total busy PE cycles simulated.
+    pub total_busy_pe_cycles: u64,
+    /// Total wall-clock milliseconds.
+    pub total_wall_ms: f64,
+    /// Simulated busy cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Whether every layer's measured MACs agree with the analytic model.
+    pub cross_check_consistent: bool,
+    /// Simulated speedup over the Eyeriss baseline (machine layers only).
+    pub simulated_speedup: f64,
+    /// Simulated energy reduction over the Eyeriss baseline.
+    pub simulated_energy_reduction: f64,
+}
+
+/// Runs the DCGAN generator end to end on the cycle-level machine — full
+/// size, or channel-capped at 64 with `quick` for CI smoke runs — and
+/// packages the [`SimulatedComparison`] into a serializable report.
+pub fn network_bench(quick: bool) -> NetworkBenchReport {
+    let generator = zoo::dcgan().generator;
+    let network = if quick {
+        generator
+            .reduced(64)
+            .expect("DCGAN generator reduces cleanly")
+    } else {
+        generator
+    };
+    let weights = network_weights(&network, 2027);
+    let input = deterministic_tensor(network.input_shape(), 4099);
+    let report =
+        SimulatedComparison::run(&network, &input, &weights).expect("DCGAN generator executes");
+    let execution = &report.execution;
+    let rows = network
+        .layer_shapes()
+        .into_iter()
+        .zip(&execution.layers)
+        .map(|((_, input, output), l)| NetworkBenchRow {
+            layer: l.name.clone(),
+            geometry: format!("{input} -> {output}"),
+            host: l.host,
+            is_tconv: l.is_tconv,
+            busy_pe_cycles: l.busy_pe_cycles,
+            work_units: l.work_units,
+            balance: l.balance,
+            wall_ms: l.wall_seconds * 1e3,
+        })
+        .collect();
+    NetworkBenchReport {
+        bench: "network".to_string(),
+        network: execution.network.clone(),
+        quick,
+        threads: execution.threads,
+        rows,
+        total_busy_pe_cycles: execution.total_busy_pe_cycles(),
+        total_wall_ms: execution.wall_seconds * 1e3,
+        cycles_per_sec: execution.cycles_per_second(),
+        cross_check_consistent: report.is_consistent(),
+        simulated_speedup: report.simulated_speedup(),
+        simulated_energy_reduction: report.simulated_energy_reduction(),
+    }
 }
 
 /// Profiling aid for `bench_machine --fast-only`: repeatedly runs the serial

@@ -6,15 +6,22 @@
 //! * [`compiler`](GanaxCompiler) lowers a layer description into the µop
 //!   program of Section IV: access-engine configurations, per-PV local µop
 //!   images and the global SIMD / MIMD-SIMD µop sequence.
-//! * [`machine`](GanaxMachine) executes small layers cycle-by-cycle on the
+//! * [`machine`](GanaxMachine) executes layers cycle-by-cycle on the
 //!   decoupled access-execute PE array of `ganax-sim`, producing actual output
 //!   feature maps that are validated against the `ganax-tensor` references.
+//! * [`network`] chains whole generators through the machine's fast path —
+//!   [`GanaxMachine::execute_network`] returns a [`NetworkExecution`] report
+//!   with per-layer cycles, counters and wall-clock, cross-checkable against
+//!   the analytic models.
 //! * [`perf`](GanaxModel) is the layer-level performance and energy model that
 //!   evaluates full GAN workloads (the counterpart of
 //!   [`EyerissModel`](ganax_eyeriss::EyerissModel)).
 //! * [`compare`](compare::ModelComparison) runs a GAN on both accelerators and
 //!   derives every number the paper's evaluation section reports: speedup,
-//!   energy reduction, runtime/energy breakdowns and PE utilization.
+//!   energy reduction, runtime/energy breakdowns and PE utilization —
+//!   analytically ([`ModelComparison`](compare::ModelComparison)) and from
+//!   measured machine activity
+//!   ([`SimulatedComparison`](compare::SimulatedComparison)).
 //!
 //! # Example
 //!
@@ -36,9 +43,11 @@ pub mod compare;
 mod compiler;
 mod config;
 mod machine;
+pub mod network;
 mod perf;
 
 pub use compiler::GanaxCompiler;
 pub use config::GanaxConfig;
 pub use machine::{GanaxMachine, MachineError, MachineRun};
-pub use perf::{AblationVariant, GanaxModel};
+pub use network::{LayerExecution, NetworkExecution, NetworkWeights};
+pub use perf::{AblationVariant, GanaxModel, LayerCrossCheck};

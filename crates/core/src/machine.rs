@@ -26,8 +26,9 @@
 //!   ([`GanaxMachine::execute_layer_threaded`]) shards `(output channel,
 //!   output row)` work units across `std::thread`-scoped worker PEs. Every
 //!   work unit writes a disjoint output row and workers are assigned units by
-//!   a static round-robin over the row index, so outputs and counters are
-//!   bit-identical for every thread count.
+//!   a static round-robin over the plan's phase-major row order (the Figure 5
+//!   output-row reorganization), so the load balances across phases and
+//!   outputs and counters are bit-identical for every thread count.
 //!
 //! [`GanaxMachine::execute_layer_reference`] preserves the seed
 //! one-cycle-at-a-time serial path; property tests assert the fast paths match
@@ -40,7 +41,7 @@
 
 use std::fmt;
 
-use ganax_dataflow::LayerGeometry;
+use ganax_dataflow::{LayerGeometry, OutputRowGroups};
 use ganax_energy::EventCounts;
 use ganax_isa::{AddrGenKind, ExecUop};
 use ganax_models::{Layer, LayerOp};
@@ -150,9 +151,14 @@ struct ColumnChunk {
 /// row, consequential column runs per output column (grouped into
 /// equal-tap-count chunks), and pre-gathered weight rows (spatially flipped
 /// for transposed convolutions). Shared read-only by every worker PE.
-struct LayerPlan {
+pub(crate) struct LayerPlan {
     /// Per output row: the consequential `(ky, iy)` vertical taps.
     row_taps: Vec<Vec<(usize, usize)>>,
+    /// Output rows in dispatch order: phase-major (from the Figure 5
+    /// output-row reorganization) for transposed convolutions, natural order
+    /// otherwise. Sharding round-robins over this order so every worker gets
+    /// the same mix of shallow- and deep-phase rows.
+    row_order: Vec<usize>,
     /// Per output column: the consequential column run, if any.
     column_runs: Vec<Option<ColumnRun>>,
     /// Consequential columns grouped into dispatchable chunks.
@@ -245,6 +251,12 @@ impl LayerPlan {
                     .collect()
             })
             .collect();
+        let row_order: Vec<usize> = match &geometry.height_phases {
+            Some(phases) if layer.is_tconv() => {
+                OutputRowGroups::new(phases, layer.output.height).phase_major_rows()
+            }
+            _ => (0..layer.output.height).collect(),
+        };
         let column_runs: Vec<Option<ColumnRun>> = (0..layer.output.width)
             .map(|ox| column_run(ox, params, layer.input.width))
             .collect();
@@ -275,6 +287,7 @@ impl LayerPlan {
         }
         LayerPlan {
             row_taps,
+            row_order,
             column_runs,
             chunks,
             weight_rows,
@@ -289,6 +302,16 @@ impl LayerPlan {
         let row = (co * self.input_channels + ci) * self.kernel_h + ky;
         &self.weight_rows[row * self.kernel_w..(row + 1) * self.kernel_w]
     }
+}
+
+/// A validated layer together with its hoisted execution plan and the PE
+/// sizing the plan was built for — the staged operand state the network
+/// executor double-buffers across layers.
+pub(crate) struct PlannedLayer {
+    /// The PE sizing that bounds the plan's chunks and streams.
+    pe_config: PeConfig,
+    /// The hoisted per-layer plan.
+    plan: LayerPlan,
 }
 
 /// Cycle budget of one per-column `mac` run: a stall-free run retires in
@@ -346,12 +369,13 @@ impl GanaxMachine {
 
     /// Executes one layer on `threads` `std::thread`-scoped worker PEs.
     ///
-    /// Work units are sharded by `(output channel, output row)`: worker `w`
-    /// owns every row whose flat index `co * output_height + oy` is congruent
-    /// to `w` modulo `threads`. Each work unit writes a disjoint output row
-    /// and the per-worker counters are reduced in worker-index order, so the
-    /// output feature map, cycle counts and [`EventCounts`] are bit-identical
-    /// for every `threads` value (including 1, the serial fast path).
+    /// Work units are sharded by whole output rows: worker `w` owns every row
+    /// at a position congruent to `w` modulo `threads` in the plan's
+    /// phase-major row order (all output channels of that row). Each work
+    /// unit writes a disjoint output row and the per-worker `u64` counters
+    /// are order-independent sums, so the output feature map, cycle counts
+    /// and [`EventCounts`] are bit-identical for every `threads` value
+    /// (including 1, the serial fast path).
     ///
     /// # Errors
     /// As [`GanaxMachine::execute_layer`].
@@ -362,11 +386,47 @@ impl GanaxMachine {
         weights: &Tensor,
         threads: usize,
     ) -> Result<MachineRun, MachineError> {
-        let params = self.validate(layer, input, weights)?;
+        let planned = self.plan_layer(layer, weights)?;
+        let (run, _shard_busy) = self.execute_planned(layer, input, &planned, threads)?;
+        Ok(run)
+    }
+
+    /// Validates a layer and builds everything the hot path needs to execute
+    /// it: the hoisted [`LayerPlan`] and the PE sizing the plan was built for.
+    ///
+    /// Planning is the expensive per-layer prologue (tap analysis, chunking,
+    /// weight gathering); separating it from execution lets
+    /// [`crate::network::NetworkExecution`] stage layer `N + 1`'s plan on a
+    /// spare thread while layer `N` is still retiring.
+    pub(crate) fn plan_layer(
+        &self,
+        layer: &Layer,
+        weights: &Tensor,
+    ) -> Result<PlannedLayer, MachineError> {
+        let params = self.validate_weights(layer, weights)?;
         // One PE sizing governs both the plan (chunk/stream limits) and the
         // worker PEs, so chunks can never outgrow the engines executing them.
         let pe_config = PeConfig::roomy();
         let plan = LayerPlan::build(layer, &params, weights, &pe_config);
+        Ok(PlannedLayer { pe_config, plan })
+    }
+
+    /// Executes one layer from a prebuilt [`PlannedLayer`], returning the run
+    /// and the per-worker busy-cycle split (for load-balance reporting).
+    pub(crate) fn execute_planned(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        planned: &PlannedLayer,
+        threads: usize,
+    ) -> Result<(MachineRun, Vec<u64>), MachineError> {
+        if input.shape() != layer.input {
+            return Err(MachineError::ShapeMismatch {
+                detail: format!("input {} != layer input {}", input.shape(), layer.input),
+            });
+        }
+        let pe_config = &planned.pe_config;
+        let plan = &planned.plan;
         let mut output = Tensor::zeros(layer.output);
         let width = layer.output.width;
         let height = layer.output.height;
@@ -375,6 +435,7 @@ impl GanaxMachine {
         let mut busy = 0u64;
         let mut counts = EventCounts::default();
         let mut work_units = 0u64;
+        let mut shard_busy = Vec::with_capacity(threads);
         {
             // Output rows in `(co, oy)` order are the contiguous `width`-sized
             // chunks of the output buffer; group them per output row `oy`
@@ -387,18 +448,27 @@ impl GanaxMachine {
             }
             let shard_results: Vec<Result<(u64, EventCounts, u64), MachineError>> = if threads == 1
             {
-                vec![run_shard(layer, input, &plan, &pe_config, rows_by_oy)]
+                vec![run_shard(layer, input, plan, pe_config, rows_by_oy)]
             } else {
+                // Round-robin over the phase-major row order: rows of one
+                // phase share a tap count, so each worker receives the same
+                // mix of shallow- and deep-phase rows (assigning by raw `oy`
+                // would hand one worker every deep-phase row whenever
+                // `threads` divides the phase stride).
+                let mut position = vec![0usize; height];
+                for (pos, &oy) in plan.row_order.iter().enumerate() {
+                    position[oy] = pos;
+                }
                 let mut shards: Vec<Vec<(usize, Vec<&mut [f32]>)>> =
                     (0..threads).map(|_| Vec::new()).collect();
                 for (oy, rows) in rows_by_oy {
-                    shards[oy % threads].push((oy, rows));
+                    shards[position[oy] % threads].push((oy, rows));
                 }
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = shards
                         .into_iter()
                         .map(|shard| {
-                            scope.spawn(|| run_shard(layer, input, &plan, &pe_config, shard))
+                            scope.spawn(|| run_shard(layer, input, plan, pe_config, shard))
                         })
                         .collect();
                     handles
@@ -407,24 +477,30 @@ impl GanaxMachine {
                         .collect()
                 })
             };
-            // Deterministic reduction: worker-index order.
+            // Deterministic reduction: worker-index order. The totals are
+            // `u64` sums over disjoint work units, so they are identical for
+            // every thread count and shard assignment.
             for result in shard_results {
-                let (shard_busy, shard_counts, shard_units) = result?;
-                busy += shard_busy;
+                let (busy_one, shard_counts, shard_units) = result?;
+                busy += busy_one;
                 counts += shard_counts;
                 work_units += shard_units;
+                shard_busy.push(busy_one);
             }
         }
         // Horizontal accumulation of each node's partial sums into the output
         // row (one hop per produced element).
         counts.inter_pe_transfers += work_units * width as u64;
 
-        Ok(MachineRun {
-            output,
-            busy_pe_cycles: busy,
-            counts,
-            work_units,
-        })
+        Ok((
+            MachineRun {
+                output,
+                busy_pe_cycles: busy,
+                counts,
+                work_units,
+            },
+            shard_busy,
+        ))
     }
 
     /// Executes one layer on the seed one-cycle-at-a-time serial path: one PE,
@@ -520,6 +596,22 @@ impl GanaxMachine {
         input: &Tensor,
         weights: &Tensor,
     ) -> Result<ConvParams, MachineError> {
+        let params = self.validate_weights(layer, weights)?;
+        if input.shape() != layer.input {
+            return Err(MachineError::ShapeMismatch {
+                detail: format!("input {} != layer input {}", input.shape(), layer.input),
+            });
+        }
+        Ok(params)
+    }
+
+    /// Checks layer support and the weight tensor's shape (everything the
+    /// planning stage needs — the input tensor is checked at execution time).
+    fn validate_weights(
+        &self,
+        layer: &Layer,
+        weights: &Tensor,
+    ) -> Result<ConvParams, MachineError> {
         let params = match &layer.op {
             LayerOp::Conv(p) | LayerOp::TConv(p) => *p,
             LayerOp::Projection => {
@@ -531,11 +623,6 @@ impl GanaxMachine {
         if layer.input.depth != 1 {
             return Err(MachineError::Unsupported {
                 detail: "the cycle-level machine covers 2-D layers".into(),
-            });
-        }
-        if input.shape() != layer.input {
-            return Err(MachineError::ShapeMismatch {
-                detail: format!("input {} != layer input {}", input.shape(), layer.input),
             });
         }
         let expected_weights = Shape::filter(

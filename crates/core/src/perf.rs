@@ -6,6 +6,7 @@ use ganax_models::{Layer, Network};
 
 use crate::compiler::GanaxCompiler;
 use crate::config::GanaxConfig;
+use crate::network::NetworkExecution;
 
 /// Which subset of the GANAX mechanisms is enabled — used by the ablation
 /// study of the design choices called out in Section III.
@@ -163,6 +164,88 @@ impl GanaxModel {
             accelerator: "GANAX",
             layers: network.layers().iter().map(|l| self.run_layer(l)).collect(),
         }
+    }
+
+    /// Cross-checks a cycle-level [`NetworkExecution`] against this analytic
+    /// model, layer by layer: the machine's measured ALU operations must
+    /// equal the layer's exact in-bounds MAC count
+    /// ([`ganax_tensor::ConvParams::in_bounds_macs`]) and never exceed the
+    /// consequential MACs the analytic schedule charges (the analytic model
+    /// additionally counts zero-padding taps on conventional convolutions;
+    /// host layers, which the machine does not simulate, are exempt).
+    ///
+    /// This is the contract that lets the analytic whole-GAN numbers stand on
+    /// the machine's per-pass behaviour.
+    ///
+    /// # Panics
+    /// Panics when `execution` does not report one layer per network layer —
+    /// i.e. it was produced from a different network (a reduced variant, for
+    /// example); a silent partial check would vacuously pass.
+    pub fn cross_check(
+        &self,
+        network: &Network,
+        execution: &NetworkExecution,
+    ) -> Vec<LayerCrossCheck> {
+        assert_eq!(
+            network.layers().len(),
+            execution.layers.len(),
+            "cross_check requires the execution of this very network \
+             (`{}` has {} layers, the execution reports {})",
+            network.name(),
+            network.layers().len(),
+            execution.layers.len(),
+        );
+        network
+            .layers()
+            .iter()
+            .zip(&execution.layers)
+            .map(|(layer, run)| {
+                let stats = self.run_layer(layer);
+                let expected_machine_macs = match layer.op.conv_params() {
+                    Some(p) => p
+                        .in_bounds_macs(layer.input, layer.output.channels)
+                        .expect("layer geometry validated at construction"),
+                    // Projections run on the host; the machine simulates none
+                    // of their MACs.
+                    None => 0,
+                };
+                LayerCrossCheck {
+                    layer: layer.name.clone(),
+                    host: run.host,
+                    analytical_cycles: stats.cycles,
+                    analytical_macs: stats.consequential_macs,
+                    expected_machine_macs,
+                    simulated_macs: run.counts.alu_ops,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One row of [`GanaxModel::cross_check`]: the analytic model's per-layer
+/// charge next to what the cycle-level machine actually did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerCrossCheck {
+    /// Layer name.
+    pub layer: String,
+    /// Whether the machine ran the layer on the host (no simulated MACs).
+    pub host: bool,
+    /// Analytic schedule cycles of the layer.
+    pub analytical_cycles: u64,
+    /// Consequential MACs the analytic model charges.
+    pub analytical_macs: u64,
+    /// Exact in-bounds MACs the machine is expected to execute.
+    pub expected_machine_macs: u64,
+    /// ALU operations the machine measured.
+    pub simulated_macs: u64,
+}
+
+impl LayerCrossCheck {
+    /// Whether the machine's measured work agrees with the analytic charge.
+    pub fn is_consistent(&self) -> bool {
+        self.host
+            || (self.simulated_macs == self.expected_machine_macs
+                && self.simulated_macs <= self.analytical_macs)
     }
 }
 

@@ -119,6 +119,22 @@ impl OutputRowGroups {
             .collect()
     }
 
+    /// The output rows in phase-major order: every row of the first phase
+    /// group, then every row of the second, and so on.
+    ///
+    /// This is the order the reorganized dataflow stages rows in during
+    /// inter-layer handoff: rows of one phase share a tap count, so assigning
+    /// workers round-robin over this order balances the PE array even when
+    /// phases have unequal accumulation depths (assigning by raw row index
+    /// would give one worker all the deep-phase rows whenever the worker
+    /// count is a multiple of the phase stride).
+    pub fn phase_major_rows(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.rows.iter().copied())
+            .collect()
+    }
+
     /// Verifies the reorganization is a permutation of the output rows: every
     /// row appears in exactly one group. Returns the sorted list of covered
     /// rows for inspection.
@@ -180,6 +196,17 @@ mod tests {
     fn covered_rows_is_a_permutation() {
         let groups = paper_groups();
         assert_eq!(groups.covered_rows(), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn phase_major_rows_orders_by_group() {
+        let groups = paper_groups();
+        // Even-phase rows first, then odd-phase rows.
+        assert_eq!(groups.phase_major_rows(), vec![0, 2, 4, 6, 1, 3, 5]);
+        // Still a permutation of the output rows.
+        let mut sorted = groups.phase_major_rows();
+        sorted.sort_unstable();
+        assert_eq!(sorted, groups.covered_rows());
     }
 
     #[test]

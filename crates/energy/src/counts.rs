@@ -3,10 +3,12 @@
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
+use serde::Serialize;
+
 /// Raw activity counts accumulated by an accelerator model while executing a
 /// layer or a whole network. Counts are in *word-sized events* (one event = one
 /// 16-bit operand or one arithmetic operation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct EventCounts {
     /// Full arithmetic operations executed by PE ALUs (consequential MACs,
     /// additions, activations…).
@@ -188,7 +190,7 @@ impl EnergyCategory {
 }
 
 /// Energy per category, in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct EnergyBreakdown {
     /// Arithmetic energy.
     pub pe_pj: f64,

@@ -1,9 +1,10 @@
 //! Per-layer and per-network execution statistics.
 
 use ganax_energy::{EnergyBreakdown, EventCounts};
+use serde::Serialize;
 
 /// Execution statistics of one layer on one accelerator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct LayerStats {
     /// Layer name.
     pub name: String,
@@ -31,7 +32,7 @@ impl LayerStats {
 }
 
 /// Execution statistics of a whole network on one accelerator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct NetworkStats {
     /// Network name.
     pub network: String,

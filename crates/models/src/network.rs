@@ -4,7 +4,7 @@ use std::fmt;
 
 use ganax_tensor::{ConvParams, Shape};
 
-use crate::layer::{Activation, Layer};
+use crate::layer::{Activation, Layer, LayerOp};
 use crate::stats::NetworkOpStats;
 
 /// Errors produced while assembling a [`Network`].
@@ -137,6 +137,73 @@ impl Network {
     /// Aggregated operation statistics (drives Figure 1).
     pub fn op_stats(&self) -> NetworkOpStats {
         NetworkOpStats::from_layers(&self.layers)
+    }
+
+    /// Per-layer I/O shapes in execution order: `(name, input, output)`.
+    pub fn layer_shapes(&self) -> Vec<(&str, Shape, Shape)> {
+        self.layers
+            .iter()
+            .map(|l| (l.name.as_str(), l.input, l.output))
+            .collect()
+    }
+
+    /// A reduced-geometry variant of the network for cycle-level execution:
+    /// every channel count is capped at `max_channels` and volumetric layers
+    /// are flattened to their 2-D cross-section (depth 1, depth-axis kernel/
+    /// stride collapsed), while the spatial extents, stride/kernel choices and
+    /// hence the zero-insertion phase structure are preserved.
+    ///
+    /// The reduction keeps exactly the properties conformance testing needs —
+    /// the per-layer dataflow — while shrinking the arithmetic so a whole
+    /// generator is simulatable cycle by cycle in a test.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::InvalidGeometry`] if a flattened layer's
+    /// geometry becomes invalid (it cannot, for any network whose 2-D
+    /// cross-section is itself valid).
+    pub fn reduced(&self, max_channels: usize) -> Result<Network, NetworkError> {
+        let max_channels = max_channels.max(1);
+        let cap = |shape: Shape| {
+            Shape::new_2d(shape.channels.min(max_channels), shape.height, shape.width)
+        };
+        let mut current = cap(self.layers[0].input);
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let reduced = match &layer.op {
+                LayerOp::Projection => {
+                    let layer = Layer::projection(
+                        &layer.name,
+                        current,
+                        cap(layer.output),
+                        layer.activation,
+                    );
+                    current = layer.output;
+                    layer
+                }
+                LayerOp::Conv(p) | LayerOp::TConv(p) => {
+                    // Collapse the depth axis to the 2-D defaults; the height
+                    // and width dataflow (and phase structure) are untouched.
+                    let flat = ConvParams {
+                        kernel: (1, p.kernel.1, p.kernel.2),
+                        stride: (1, p.stride.1, p.stride.2),
+                        padding: (0, p.padding.1, p.padding.2),
+                        output_padding: (0, p.output_padding.1, p.output_padding.2),
+                        ..*p
+                    };
+                    let out_channels = layer.output.channels.min(max_channels);
+                    let layer =
+                        Layer::conv(&layer.name, current, out_channels, flat, layer.activation)
+                            .map_err(|err| NetworkError::InvalidGeometry {
+                                layer: layer.name.clone(),
+                                detail: err.to_string(),
+                            })?;
+                    current = layer.output;
+                    layer
+                }
+            };
+            layers.push(reduced);
+        }
+        Network::new(format!("{}-reduced", self.name), layers)
     }
 }
 
@@ -325,6 +392,88 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(net.weight_count(), (4 * 8 * 9 + 2 * 4 * 9) as u64);
+    }
+
+    #[test]
+    fn layer_shapes_lists_every_layer_in_order() {
+        let net = NetworkBuilder::new("gen", Shape::new_2d(100, 1, 1))
+            .projection("project", Shape::new_2d(64, 4, 4), Activation::Relu)
+            .tconv(
+                "up1",
+                32,
+                ConvParams::transposed_2d(4, 2, 1),
+                Activation::Relu,
+            )
+            .build()
+            .unwrap();
+        let shapes = net.layer_shapes();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(
+            shapes[0],
+            ("project", Shape::new_2d(100, 1, 1), Shape::new_2d(64, 4, 4))
+        );
+        assert_eq!(shapes[1].0, "up1");
+        assert_eq!(shapes[1].2, Shape::new_2d(32, 8, 8));
+    }
+
+    #[test]
+    fn reduced_caps_channels_and_preserves_spatial_structure() {
+        let net = NetworkBuilder::new("gen", Shape::new_2d(100, 1, 1))
+            .projection("project", Shape::new_2d(512, 4, 4), Activation::Relu)
+            .tconv(
+                "up1",
+                256,
+                ConvParams::transposed_2d(5, 2, 2).with_output_padding(0, 1, 1),
+                Activation::Relu,
+            )
+            .tconv(
+                "up2",
+                3,
+                ConvParams::transposed_2d(5, 2, 2).with_output_padding(0, 1, 1),
+                Activation::Tanh,
+            )
+            .build()
+            .unwrap();
+        let reduced = net.reduced(8).unwrap();
+        assert_eq!(reduced.name(), "gen-reduced");
+        assert_eq!(reduced.layers().len(), 3);
+        // Channels capped; spatial extents identical to the original.
+        for (orig, red) in net.layers().iter().zip(reduced.layers()) {
+            assert_eq!(red.output.channels, orig.output.channels.min(8));
+            assert_eq!(red.output.height, orig.output.height);
+            assert_eq!(red.output.width, orig.output.width);
+            // Inconsequential-work structure (the phase profile) survives.
+            if orig.is_tconv() {
+                assert!(red.is_tconv());
+                assert!(
+                    (red.inconsequential_fraction() - orig.inconsequential_fraction()).abs() < 1e-9
+                );
+            }
+        }
+        // Small channel counts stay as they are.
+        assert_eq!(reduced.output_shape().channels, 3);
+    }
+
+    #[test]
+    fn reduced_flattens_volumetric_layers() {
+        let net = NetworkBuilder::new("vol", Shape::new(16, 4, 4, 4))
+            .tconv(
+                "up",
+                8,
+                ConvParams::transposed_3d(4, 2, 1),
+                Activation::Relu,
+            )
+            .build()
+            .unwrap();
+        let reduced = net.reduced(4).unwrap();
+        let layer = &reduced.layers()[0];
+        assert_eq!(layer.input, Shape::new_2d(4, 4, 4));
+        assert_eq!(layer.output.depth, 1);
+        assert_eq!(layer.output.height, 8);
+        let p = layer.op.conv_params().unwrap();
+        assert_eq!(p.kernel, (1, 4, 4));
+        assert_eq!(p.stride, (1, 2, 2));
+        assert_eq!(p.padding, (0, 1, 1));
     }
 
     #[test]

@@ -43,6 +43,20 @@ pub fn by_name(name: &str) -> Option<GanModel> {
         .find(|m| m.name.eq_ignore_ascii_case(name))
 }
 
+/// A reduced-geometry generator for cycle-level end-to-end execution
+/// ([`crate::Network::reduced`]): channel counts capped at `max_channels`,
+/// volumetric layers flattened to their 2-D cross-section, the spatial
+/// dataflow preserved. Returns `None` for unknown model names.
+pub fn reduced_generator(name: &str, max_channels: usize) -> Option<crate::Network> {
+    let model = by_name(name)?;
+    Some(
+        model
+            .generator
+            .reduced(max_channels)
+            .expect("zoo generators have valid 2-D cross-sections"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +155,26 @@ mod tests {
                 assert_eq!(stats.tconv_dense_macs(), 0, "{}", model.name);
             }
         }
+    }
+
+    #[test]
+    fn every_generator_reduces_to_a_2d_machine_workload() {
+        for model in all_models() {
+            let reduced = reduced_generator(&model.name, 4)
+                .unwrap_or_else(|| panic!("missing model {}", model.name));
+            for layer in reduced.layers() {
+                assert!(layer.input.depth <= 1, "{}: {}", model.name, layer.name);
+                assert!(layer.output.channels <= 4, "{}: {}", model.name, layer.name);
+            }
+            // Spatial output resolution is preserved.
+            assert_eq!(
+                reduced.output_shape().height,
+                model.generator.output_shape().height,
+                "{}",
+                model.name
+            );
+        }
+        assert!(reduced_generator("NoSuchGAN", 4).is_none());
     }
 
     #[test]

@@ -233,6 +233,54 @@ impl ConvParams {
             }
         }
     }
+
+    /// Number of multiply-accumulates whose input operand is an original
+    /// element *inside* the input bounds — the products a machine that skips
+    /// both inserted zeros and implicit zero padding actually executes.
+    ///
+    /// For transposed convolutions this equals
+    /// [`ConvParams::consequential_macs`] (its scatter walk is already
+    /// bounds-checked); for conventional convolutions it is
+    /// [`ConvParams::dense_macs`] minus the padding taps.
+    pub fn in_bounds_macs(&self, input: Shape, out_channels: usize) -> Result<u64> {
+        match self.kind {
+            ConvKind::Transposed => self.consequential_macs(input, out_channels),
+            ConvKind::Conventional => {
+                let out = self.output_shape(input, out_channels)?;
+                // Bounds are independent per axis, so the tap count factors.
+                let mut per_axis = [0u64; 3];
+                for (axis, (in_extent, out_extent)) in [
+                    (input.depth, out.depth),
+                    (input.height, out.height),
+                    (input.width, out.width),
+                ]
+                .iter()
+                .enumerate()
+                {
+                    let (k, s, p) = match axis {
+                        0 => (self.kernel.0, self.stride.0, self.padding.0),
+                        1 => (self.kernel.1, self.stride.1, self.padding.1),
+                        _ => (self.kernel.2, self.stride.2, self.padding.2),
+                    };
+                    let mut count = 0u64;
+                    for o in 0..*out_extent {
+                        for kk in 0..k {
+                            let pos = (o * s + kk) as isize - p as isize;
+                            if pos >= 0 && (pos as usize) < *in_extent {
+                                count += 1;
+                            }
+                        }
+                    }
+                    per_axis[axis] = count;
+                }
+                Ok(per_axis[0]
+                    * per_axis[1]
+                    * per_axis[2]
+                    * input.channels as u64
+                    * out_channels as u64)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +358,31 @@ mod tests {
         let consequential = p.consequential_macs(shape, 32).unwrap() as f64;
         let ratio = consequential / dense;
         assert!(ratio > 0.2 && ratio < 0.35, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn in_bounds_macs_subtracts_padding_taps() {
+        // Unpadded conventional convolution: every tap is in bounds.
+        let p = ConvParams::conv_2d(3, 1, 0);
+        let shape = Shape::new_2d(2, 8, 8);
+        assert_eq!(
+            p.in_bounds_macs(shape, 4).unwrap(),
+            p.dense_macs(shape, 4).unwrap()
+        );
+
+        // Same-padded 3x3 over 8x8: per axis, the border output positions
+        // each lose one tap (8*3 - 2 = 22 in-bounds taps per axis).
+        let p = ConvParams::conv_2d(3, 1, 1);
+        assert_eq!(p.in_bounds_macs(shape, 4).unwrap(), 22 * 22 * 2 * 4);
+        assert!(p.in_bounds_macs(shape, 4).unwrap() < p.dense_macs(shape, 4).unwrap());
+
+        // Transposed convolutions: identical to the consequential count.
+        let t = ConvParams::transposed_2d(5, 2, 2);
+        let shape = Shape::new_2d(3, 4, 4);
+        assert_eq!(
+            t.in_bounds_macs(shape, 2).unwrap(),
+            t.consequential_macs(shape, 2).unwrap()
+        );
     }
 
     #[test]
