@@ -1,0 +1,85 @@
+//! Runs the design-space sweep (accelerator geometries × Table I networks)
+//! and emits `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p ganax-bench --bin bench_sweep             # full zoo + machine spot checks
+//! cargo run --release -p ganax-bench --bin bench_sweep -- --quick  # 2 networks, analytic only (CI)
+//! cargo run --release -p ganax-bench --bin bench_sweep -- --out path.json
+//! ```
+//!
+//! Every design point is compared against a *same-budget* Eyeriss baseline
+//! (identical array geometry, clock and energy constants); the report
+//! carries per-cell speedup/energy/utilization, per-point geometric means,
+//! the Pareto front over (geomean speedup, geomean energy reduction), and —
+//! outside `--quick` — cycle-level machine spot checks on the reduced DCGAN
+//! generator. See `docs/HANDBOOK.md` ("Design-space sweeps") for how to
+//! read and extend it.
+
+use ganax_bench::sweep_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let report = sweep_bench(quick);
+
+    println!(
+        "{:>7}  {:>5}  {:>9}  {:>9}  {:>7}",
+        "design", "PEs", "speedup", "energy", "pareto"
+    );
+    for design in &report.designs {
+        println!(
+            "{:>7}  {:>5}  {:>8.2}x  {:>8.2}x  {:>7}",
+            design.design,
+            design.total_pes,
+            design.geomean_speedup,
+            design.geomean_energy_reduction,
+            if design.pareto_optimal { "*" } else { "" },
+        );
+    }
+    println!(
+        "\n{} design points x {} networks ({}); Pareto front: {}",
+        report.designs.len(),
+        report.networks.len(),
+        report.networks.join(", "),
+        report.pareto_front.join(", "),
+    );
+    for check in &report.machine_spot_checks {
+        println!(
+            "machine spot check {:>7} on reduced {}: {} busy cycles, speedup {:.2}x, \
+             energy {:.2}x, cross-check {}",
+            check.design,
+            check.network,
+            check.busy_pe_cycles,
+            check.simulated_speedup,
+            check.simulated_energy_reduction,
+            if check.consistent {
+                "consistent"
+            } else {
+                "INCONSISTENT"
+            },
+        );
+    }
+
+    // Write the report before asserting, so failing invariants still leave
+    // the per-cell evidence on disk (and in the CI artifact).
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("sweep report is writable");
+    println!("wrote {out_path} in {:.0} ms", report.wall_ms);
+
+    assert!(
+        report.designs.len() >= 6 && report.networks.len() >= 2,
+        "sweep must cover >= 6 design points x >= 2 networks"
+    );
+    assert!(!report.pareto_front.is_empty(), "empty Pareto front");
+    assert!(
+        report.machine_spot_checks.iter().all(|c| c.consistent),
+        "a machine spot check diverged from the analytic model"
+    );
+}

@@ -19,7 +19,8 @@
 use std::time::Instant;
 
 use ganax::compare::{compare_all, geometric_mean, ModelComparison, SimulatedComparison};
-use ganax::{GanaxMachine, NetworkWeights};
+use ganax::sweep::MachineSweepCell;
+use ganax::{DesignSummary, GanaxMachine, NetworkWeights, SweepCell, SweepSpec};
 use ganax_energy::EnergyCategory;
 use ganax_models::{zoo, Layer, Network};
 use ganax_tensor::{Shape, Tensor};
@@ -201,20 +202,11 @@ pub struct MachineBenchRow {
 }
 
 /// A deterministic pseudo-random tensor (xorshift over the flat index) shared
-/// by the machine benches and the scale tests.
+/// by the machine benches and the scale tests — an alias for
+/// [`Tensor::deterministic`], the workspace's single source of reproducible
+/// operands.
 pub fn deterministic_tensor(shape: Shape, seed: u64) -> Tensor {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        ((state % 2000) as f32 / 1000.0) - 1.0
-    };
-    let mut t = Tensor::zeros(shape);
-    for v in t.data_mut() {
-        *v = next();
-    }
-    t
+    Tensor::deterministic(shape, seed)
 }
 
 /// A deterministic pseudo-random tensor of *small integers* (stored as
@@ -531,6 +523,88 @@ pub fn network_bench(quick: bool) -> NetworkBenchReport {
     }
 }
 
+/// The design-space geometries the sweep bench covers: the paper's 16 × 16
+/// point plus wide/tall/small/large variations of the PV (MIMD) and lane
+/// (SIMD) dimensions — 8 points in total.
+pub fn sweep_bench_geometries() -> Vec<(usize, usize)> {
+    vec![
+        (16, 16),
+        (8, 8),
+        (8, 16),
+        (16, 8),
+        (8, 32),
+        (32, 8),
+        (16, 32),
+        (32, 16),
+    ]
+}
+
+/// The design-space sweep report behind `BENCH_sweep.json`: every design
+/// point × network cell, the per-point summaries with the Pareto front over
+/// (geomean speedup, geomean energy reduction), and — outside `--quick` —
+/// cycle-level machine spot checks on reduced generators.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepBenchReport {
+    /// Benchmark family name.
+    pub bench: String,
+    /// Whether the quick variant was used (fewer networks, no machine spot
+    /// checks).
+    pub quick: bool,
+    /// Networks swept (canonical Table I names).
+    pub networks: Vec<String>,
+    /// Every (design point, network) cell.
+    pub cells: Vec<SweepCell>,
+    /// Per-design-point summaries, Pareto-flagged.
+    pub designs: Vec<DesignSummary>,
+    /// Labels of the Pareto-optimal design points.
+    pub pareto_front: Vec<String>,
+    /// Cycle-level spot checks (empty with `quick`).
+    pub machine_spot_checks: Vec<MachineSweepCell>,
+    /// Total wall-clock milliseconds of the sweep.
+    pub wall_ms: f64,
+}
+
+/// Runs the design-space sweep: [`sweep_bench_geometries`] × two zoo
+/// networks with `quick` (the analytic sweep only), or × the whole Table I
+/// zoo plus cycle-level machine spot checks (reduced generators, channel cap
+/// 8) without it.
+pub fn sweep_bench(quick: bool) -> SweepBenchReport {
+    let start = Instant::now();
+    let networks: Vec<&str> = if quick {
+        vec!["DCGAN", "3D-GAN"]
+    } else {
+        vec!["3D-GAN", "ArtGAN", "DCGAN", "DiscoGAN", "GP-GAN", "MAGAN"]
+    };
+    let spec = SweepSpec::geometry_grid(&sweep_bench_geometries(), &networks)
+        .expect("bench sweep spec is valid");
+    let result = spec.run();
+    let machine_spot_checks = if quick {
+        Vec::new()
+    } else {
+        // Ground the extreme geometries (and the paper point) in the
+        // cycle-level machine on the reduced DCGAN generator.
+        let spot_spec = SweepSpec::geometry_grid(&[(16, 16), (8, 8), (32, 16)], &["DCGAN"])
+            .expect("spot-check spec is valid");
+        spot_spec
+            .machine_spot_checks(8)
+            .expect("reduced generators execute on the machine")
+    };
+    SweepBenchReport {
+        bench: "sweep".to_string(),
+        quick,
+        networks: result.networks.clone(),
+        pareto_front: result
+            .pareto_front()
+            .iter()
+            .map(|d| d.design.clone())
+            .collect(),
+        cells: result.cells,
+        designs: result.designs,
+        machine_spot_checks,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 /// Profiling aid for `bench_machine --fast-only`: repeatedly runs the serial
 /// fast path on the largest bench geometry so a sampling profiler sees only
 /// the hot path.
@@ -611,6 +685,23 @@ mod tests {
                 row.model
             );
         }
+    }
+
+    #[test]
+    fn sweep_bench_quick_covers_the_acceptance_grid() {
+        let report = sweep_bench(true);
+        assert!(report.designs.len() >= 6, "need >= 6 design points");
+        assert!(report.networks.len() >= 2, "need >= 2 zoo networks");
+        assert_eq!(
+            report.cells.len(),
+            report.designs.len() * report.networks.len()
+        );
+        assert!(!report.pareto_front.is_empty());
+        for cell in &report.cells {
+            assert!(cell.speedup > 1.0, "{} on {}", cell.design, cell.network);
+            assert!(cell.energy_reduction > 1.0);
+        }
+        assert!(report.machine_spot_checks.is_empty());
     }
 
     #[test]

@@ -1,23 +1,177 @@
-//! GANAX accelerator configuration.
+//! GANAX accelerator configuration: validated, serializable geometry.
+//!
+//! [`GanaxConfig`] gathers every sizing knob of the modeled accelerator — PE
+//! rows (PVs) and SIMD lanes, clock frequency, per-access energies, Table III
+//! per-PE storage, and the cycle-level machine's worker-PE sizing — into one
+//! value that is threaded through the analytic models
+//! ([`GanaxModel`](crate::GanaxModel), [`EyerissModel`](ganax_eyeriss::EyerissModel)),
+//! the cycle-level machine ([`GanaxMachine`](crate::GanaxMachine)) and the
+//! comparison reports ([`compare`](crate::compare)). The
+//! [`Default`]/[`GanaxConfig::paper`] value reproduces the paper's design
+//! point (16 × 16 PEs, 500 MHz, Table II/III constants) bit-identically;
+//! every other point is reachable through the `with_*` builders or by
+//! deserializing a JSON file.
+//!
+//! ```
+//! use ganax::GanaxConfig;
+//!
+//! // An 8×8-PV design with halved SIMD lanes, same clock and energies.
+//! let small = GanaxConfig::paper().with_geometry(8, 8).unwrap();
+//! assert_eq!(small.array().total_pes(), 64);
+//! assert_eq!(small.array().simd_lanes(), 8);
+//!
+//! // Configs round-trip through JSON (the sweep engine and the handbook's
+//! // custom-config workflow rely on this).
+//! let json = small.to_json().unwrap();
+//! let back = GanaxConfig::from_json(&json).unwrap();
+//! assert_eq!(back, small);
+//! ```
+
+use std::fmt;
 
 use ganax_dataflow::ArrayConfig;
 use ganax_energy::{AreaModel, EnergyModel};
 use ganax_eyeriss::AcceleratorConfig;
 use ganax_sim::PeConfig;
+use serde::{Deserialize, Serialize};
+
+/// A typed configuration-validation error ([`GanaxConfig::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The PE array has a zero-sized dimension.
+    EmptyArray {
+        /// Configured number of processing vectors.
+        num_pvs: usize,
+        /// Configured PEs per processing vector (SIMD lanes).
+        pes_per_pv: usize,
+    },
+    /// The area model's PE count disagrees with the array geometry (the area
+    /// and performance models would describe different machines).
+    ArrayAreaMismatch {
+        /// PEs implied by the array geometry.
+        array_pes: usize,
+        /// PEs the area model budgets for.
+        area_pes: usize,
+    },
+    /// The clock frequency is zero, negative or non-finite.
+    InvalidFrequency {
+        /// The offending frequency in hertz.
+        frequency_hz: f64,
+    },
+    /// A per-access energy constant is negative or non-finite, or the gated
+    /// fraction falls outside `[0, 1]`.
+    InvalidEnergy {
+        /// Which energy-model field is invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The datapath word width is zero.
+    ZeroWordBits,
+    /// A PE scratchpad has no words.
+    EmptyScratchpad {
+        /// Which PE sizing is affected (`"pe"` for the Table III sizing,
+        /// `"sim_pe"` for the machine's worker PEs).
+        pe: &'static str,
+        /// Which scratchpad is empty.
+        scratchpad: &'static str,
+    },
+    /// The execute µop FIFO cannot hold one `repeat`+`mac` program pair.
+    UopFifoTooShallow {
+        /// Which PE sizing is affected.
+        pe: &'static str,
+        /// Configured FIFO entries (must be ≥ 2).
+        entries: usize,
+    },
+    /// An address FIFO has no entries (the access engine could never hand an
+    /// operand address to the execute engine).
+    EmptyAddrFifo {
+        /// Which PE sizing is affected.
+        pe: &'static str,
+    },
+    /// JSON text could not be parsed into a config at all
+    /// ([`GanaxConfig::from_json`]); distinct from the validation variants so
+    /// callers can tell "malformed file" from "well-formed but invalid
+    /// design".
+    Malformed {
+        /// The underlying parse error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyArray {
+                num_pvs,
+                pes_per_pv,
+            } => write!(
+                f,
+                "PE array has a zero-sized dimension ({num_pvs} PVs x {pes_per_pv} lanes)"
+            ),
+            ConfigError::ArrayAreaMismatch {
+                array_pes,
+                area_pes,
+            } => write!(
+                f,
+                "array geometry has {array_pes} PEs but the area model budgets {area_pes}"
+            ),
+            ConfigError::InvalidFrequency { frequency_hz } => {
+                write!(
+                    f,
+                    "clock frequency {frequency_hz} Hz is not positive and finite"
+                )
+            }
+            ConfigError::InvalidEnergy { field, value } => {
+                write!(f, "energy model field `{field}` has invalid value {value}")
+            }
+            ConfigError::ZeroWordBits => write!(f, "datapath word width is zero bits"),
+            ConfigError::EmptyScratchpad { pe, scratchpad } => {
+                write!(f, "{pe} sizing has an empty {scratchpad} scratchpad")
+            }
+            ConfigError::UopFifoTooShallow { pe, entries } => write!(
+                f,
+                "{pe} sizing has a {entries}-entry uop FIFO; at least 2 entries \
+                 (one repeat+mac pair) are required"
+            ),
+            ConfigError::EmptyAddrFifo { pe } => {
+                write!(f, "{pe} sizing has an empty address FIFO")
+            }
+            ConfigError::Malformed { detail } => {
+                write!(f, "config JSON could not be parsed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the GANAX accelerator.
 ///
 /// GANAX shares the PE-array organization, clock and on-chip memory sizes of
 /// the Eyeriss baseline (Section V: "the same number of PEs and on-chip memory
 /// are used for both accelerators") and adds the µop-buffer and access-engine
-/// sizing of Table III.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// sizing of Table III. The `Default` reproduces the paper's design point
+/// bit-identically; [`GanaxConfig::validate`] and the `with_*` builders
+/// guard every other point, and [`GanaxConfig::to_json`] /
+/// [`GanaxConfig::from_json`] round-trip configs through files.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GanaxConfig {
-    /// The shared accelerator configuration (array, clock, energy model).
+    /// The shared accelerator configuration (array geometry, clock frequency,
+    /// per-access energy model) — also the Eyeriss baseline's configuration,
+    /// which keeps every comparison same-budget by construction.
     pub base: AcceleratorConfig,
-    /// Per-PE sizing used by the cycle-level machine.
+    /// Table III per-PE sizing (register files, weight SRAM, FIFOs) used by
+    /// the analytic and area models.
     pub pe: PeConfig,
-    /// Area model (Table III).
+    /// Worker-PE sizing used by the cycle-level machine's functional fast
+    /// path. Defaults to [`PeConfig::roomy`] — deep scratchpads and µop FIFO
+    /// so whole feature-map rows dispatch in one burst; outputs and counters
+    /// do not depend on this sizing (only simulation wall-clock does), as the
+    /// machine's per-column traffic is invariant under chunking.
+    pub sim_pe: PeConfig,
+    /// Area model (Table III). `area.num_pes` must match the array geometry;
+    /// [`GanaxConfig::with_geometry`] keeps them in sync.
     pub area: AreaModel,
 }
 
@@ -27,6 +181,7 @@ impl GanaxConfig {
         GanaxConfig {
             base: AcceleratorConfig::paper(),
             pe: PeConfig::paper(),
+            sim_pe: PeConfig::roomy(),
             area: AreaModel::table_iii(),
         }
     }
@@ -45,6 +200,154 @@ impl GanaxConfig {
     pub fn area_overhead(&self) -> f64 {
         self.area.overhead_fraction()
     }
+
+    /// Returns a copy with a different PE-array geometry (`num_pvs` MIMD rows
+    /// × `pes_per_pv` SIMD lanes), keeping the area model's PE count in sync,
+    /// validated.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError::EmptyArray`] when either dimension is zero (and
+    /// propagates any other validation failure of the modified config).
+    pub fn with_geometry(mut self, num_pvs: usize, pes_per_pv: usize) -> Result<Self, ConfigError> {
+        self.base.array = ArrayConfig {
+            num_pvs,
+            pes_per_pv,
+        };
+        self.area.num_pes = num_pvs * pes_per_pv;
+        self.validated()
+    }
+
+    /// Returns a copy with a different clock frequency, validated.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError::InvalidFrequency`] when `frequency_hz` is not
+    /// positive and finite.
+    pub fn with_frequency_hz(mut self, frequency_hz: f64) -> Result<Self, ConfigError> {
+        self.base.frequency_hz = frequency_hz;
+        self.validated()
+    }
+
+    /// Returns a copy with a different worker-PE sizing for the cycle-level
+    /// machine, validated.
+    ///
+    /// # Errors
+    /// Propagates scratchpad/FIFO validation failures for the new sizing.
+    pub fn with_sim_pe(mut self, sim_pe: PeConfig) -> Result<Self, ConfigError> {
+        self.sim_pe = sim_pe;
+        self.validated()
+    }
+
+    /// Checks every invariant the models rely on: non-empty array geometry,
+    /// area/array agreement, a positive finite clock, sane energy constants
+    /// and usable PE sizings.
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let array = self.base.array;
+        if array.num_pvs == 0 || array.pes_per_pv == 0 {
+            return Err(ConfigError::EmptyArray {
+                num_pvs: array.num_pvs,
+                pes_per_pv: array.pes_per_pv,
+            });
+        }
+        if self.area.num_pes != array.total_pes() {
+            return Err(ConfigError::ArrayAreaMismatch {
+                array_pes: array.total_pes(),
+                area_pes: self.area.num_pes,
+            });
+        }
+        if !(self.base.frequency_hz.is_finite() && self.base.frequency_hz > 0.0) {
+            return Err(ConfigError::InvalidFrequency {
+                frequency_hz: self.base.frequency_hz,
+            });
+        }
+        let energy = &self.base.energy;
+        for (field, value) in [
+            ("register_file_pj_per_bit", energy.register_file_pj_per_bit),
+            ("pe_pj_per_bit", energy.pe_pj_per_bit),
+            ("inter_pe_pj_per_bit", energy.inter_pe_pj_per_bit),
+            ("global_buffer_pj_per_bit", energy.global_buffer_pj_per_bit),
+            ("dram_pj_per_bit", energy.dram_pj_per_bit),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(ConfigError::InvalidEnergy { field, value });
+            }
+        }
+        if !(energy.gated_op_fraction.is_finite()
+            && (0.0..=1.0).contains(&energy.gated_op_fraction))
+        {
+            return Err(ConfigError::InvalidEnergy {
+                field: "gated_op_fraction",
+                value: energy.gated_op_fraction,
+            });
+        }
+        if energy.word_bits == 0 {
+            return Err(ConfigError::ZeroWordBits);
+        }
+        validate_pe(&self.pe, "pe")?;
+        validate_pe(&self.sim_pe, "sim_pe")?;
+        Ok(())
+    }
+
+    /// [`GanaxConfig::validate`], returning the config itself for chaining.
+    ///
+    /// # Errors
+    /// As [`GanaxConfig::validate`].
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Serializes the config to pretty-printed JSON.
+    ///
+    /// # Errors
+    /// Propagates the (shim-infallible) serializer error for call-site
+    /// compatibility with the real `serde_json`.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a config from JSON and validates it.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError::Malformed`] when the JSON cannot be parsed or
+    /// its shape does not match [`GanaxConfig`], and the matching typed
+    /// variant when the parsed config fails [`GanaxConfig::validate`].
+    pub fn from_json(json: &str) -> Result<Self, ConfigError> {
+        let config: GanaxConfig =
+            serde_json::from_str(json).map_err(|e| ConfigError::Malformed {
+                detail: e.to_string(),
+            })?;
+        config.validated()
+    }
+}
+
+/// Validates one PE sizing (`label` distinguishes the Table III sizing from
+/// the machine's worker-PE sizing in error messages).
+fn validate_pe(pe: &PeConfig, label: &'static str) -> Result<(), ConfigError> {
+    for (scratchpad, words) in [
+        ("input", pe.input_words),
+        ("weight", pe.weight_words),
+        ("output", pe.output_words),
+    ] {
+        if words == 0 {
+            return Err(ConfigError::EmptyScratchpad {
+                pe: label,
+                scratchpad,
+            });
+        }
+    }
+    if pe.addr_fifo_entries == 0 {
+        return Err(ConfigError::EmptyAddrFifo { pe: label });
+    }
+    if pe.uop_fifo_entries < 2 {
+        return Err(ConfigError::UopFifoTooShallow {
+            pe: label,
+            entries: pe.uop_fifo_entries,
+        });
+    }
+    Ok(())
 }
 
 impl Default for GanaxConfig {
@@ -63,11 +366,162 @@ mod tests {
         assert_eq!(cfg.array().total_pes(), 256);
         assert_eq!(cfg.base.frequency_hz, 500.0e6);
         assert_eq!(cfg.energy().pe_pj_per_bit, 0.36);
+        cfg.validate().expect("the paper design point is valid");
     }
 
     #[test]
     fn area_overhead_is_about_7_8_percent() {
         let overhead = GanaxConfig::paper().area_overhead();
         assert!(overhead > 0.07 && overhead < 0.085, "overhead = {overhead}");
+    }
+
+    #[test]
+    fn with_geometry_keeps_area_in_sync() {
+        let cfg = GanaxConfig::paper().with_geometry(8, 32).unwrap();
+        assert_eq!(cfg.array().num_pvs, 8);
+        assert_eq!(cfg.array().simd_lanes(), 32);
+        assert_eq!(cfg.area.num_pes, 256);
+        let small = GanaxConfig::paper().with_geometry(4, 4).unwrap();
+        assert_eq!(small.area.num_pes, 16);
+    }
+
+    #[test]
+    fn zero_sized_arrays_are_rejected_with_typed_errors() {
+        assert_eq!(
+            GanaxConfig::paper().with_geometry(0, 16).unwrap_err(),
+            ConfigError::EmptyArray {
+                num_pvs: 0,
+                pes_per_pv: 16
+            }
+        );
+        assert_eq!(
+            GanaxConfig::paper().with_geometry(16, 0).unwrap_err(),
+            ConfigError::EmptyArray {
+                num_pvs: 16,
+                pes_per_pv: 0
+            }
+        );
+    }
+
+    #[test]
+    fn area_array_mismatch_is_rejected() {
+        let mut cfg = GanaxConfig::paper();
+        cfg.base.array = ArrayConfig {
+            num_pvs: 8,
+            pes_per_pv: 8,
+        };
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::ArrayAreaMismatch {
+                array_pes: 64,
+                area_pes: 256
+            }
+        );
+    }
+
+    #[test]
+    fn bad_frequency_energy_and_pe_sizings_are_rejected() {
+        assert!(matches!(
+            GanaxConfig::paper().with_frequency_hz(0.0).unwrap_err(),
+            ConfigError::InvalidFrequency { .. }
+        ));
+        assert!(matches!(
+            GanaxConfig::paper()
+                .with_frequency_hz(f64::INFINITY)
+                .unwrap_err(),
+            ConfigError::InvalidFrequency { .. }
+        ));
+
+        let mut cfg = GanaxConfig::paper();
+        cfg.base.energy.dram_pj_per_bit = -1.0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::InvalidEnergy {
+                field: "dram_pj_per_bit",
+                value: -1.0
+            }
+        );
+
+        let mut cfg = GanaxConfig::paper();
+        cfg.base.energy.gated_op_fraction = 1.5;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::InvalidEnergy {
+                field: "gated_op_fraction",
+                ..
+            }
+        ));
+
+        let mut cfg = GanaxConfig::paper();
+        cfg.base.energy.word_bits = 0;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroWordBits);
+
+        let mut shallow = PeConfig::paper();
+        shallow.uop_fifo_entries = 1;
+        assert_eq!(
+            GanaxConfig::paper().with_sim_pe(shallow).unwrap_err(),
+            ConfigError::UopFifoTooShallow {
+                pe: "sim_pe",
+                entries: 1
+            }
+        );
+
+        let mut empty = PeConfig::paper();
+        empty.weight_words = 0;
+        assert_eq!(
+            GanaxConfig::paper().with_sim_pe(empty).unwrap_err(),
+            ConfigError::EmptyScratchpad {
+                pe: "sim_pe",
+                scratchpad: "weight"
+            }
+        );
+
+        let mut cfg = GanaxConfig::paper();
+        cfg.pe.addr_fifo_entries = 0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::EmptyAddrFifo { pe: "pe" }
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        for cfg in [
+            GanaxConfig::paper(),
+            GanaxConfig::paper().with_geometry(8, 8).unwrap(),
+            GanaxConfig::paper().with_frequency_hz(750.0e6).unwrap(),
+        ] {
+            let json = cfg.to_json().unwrap();
+            let back = GanaxConfig::from_json(&json).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_invalid_configs() {
+        assert!(matches!(
+            GanaxConfig::from_json("{not json").unwrap_err(),
+            ConfigError::Malformed { .. }
+        ));
+        let mut invalid = GanaxConfig::paper();
+        invalid.area.num_pes = 99;
+        let json = invalid.to_json().unwrap();
+        assert_eq!(
+            GanaxConfig::from_json(&json).unwrap_err(),
+            ConfigError::ArrayAreaMismatch {
+                array_pes: 256,
+                area_pes: 99
+            }
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let msg = ConfigError::UopFifoTooShallow {
+            pe: "sim_pe",
+            entries: 1,
+        }
+        .to_string();
+        assert!(msg.contains("sim_pe") && msg.contains("1-entry"), "{msg}");
     }
 }

@@ -22,6 +22,13 @@
 //!   analytically ([`ModelComparison`](compare::ModelComparison)) and from
 //!   measured machine activity
 //!   ([`SimulatedComparison`](compare::SimulatedComparison)).
+//! * [`config`](GanaxConfig) is the validated, JSON-round-trippable
+//!   description of the accelerator geometry (PE rows and SIMD lanes, clock,
+//!   energies, storage sizing) every model above is parameterized by.
+//! * [`sweep`](sweep::SweepSpec) explores the design space: a grid of
+//!   [`GanaxConfig`] points × Table I networks evaluated in parallel, with a
+//!   Pareto front over (speedup, energy reduction) against the same-budget
+//!   Eyeriss baseline at every point.
 //!
 //! # Example
 //!
@@ -45,9 +52,11 @@ mod config;
 mod machine;
 pub mod network;
 mod perf;
+pub mod sweep;
 
 pub use compiler::GanaxCompiler;
-pub use config::GanaxConfig;
+pub use config::{ConfigError, GanaxConfig};
 pub use machine::{GanaxMachine, MachineError, MachineRun};
 pub use network::{LayerExecution, NetworkExecution, NetworkWeights};
 pub use perf::{AblationVariant, GanaxModel, LayerCrossCheck};
+pub use sweep::{DesignPoint, DesignSummary, SweepCell, SweepError, SweepResult, SweepSpec};

@@ -48,11 +48,16 @@ use ganax_models::{Layer, LayerOp};
 use ganax_sim::{GeneratorConfig, PeConfig, ProcessingEngine};
 use ganax_tensor::{ConvKind, ConvParams, Shape, Tensor, ZeroInsertion};
 
-use crate::config::GanaxConfig;
+use crate::config::{ConfigError, GanaxConfig};
 
 /// Errors produced by the cycle-level machine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MachineError {
+    /// The machine's [`GanaxConfig`] failed validation.
+    Config {
+        /// The underlying typed validation error.
+        error: ConfigError,
+    },
     /// The layer kind is not supported by the cycle-level machine.
     Unsupported {
         /// Description of the unsupported feature.
@@ -78,6 +83,7 @@ pub enum MachineError {
 impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            MachineError::Config { error } => write!(f, "invalid configuration: {error}"),
             MachineError::Unsupported { detail } => write!(f, "unsupported layer: {detail}"),
             MachineError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             MachineError::Timeout { layer } => write!(f, "layer `{layer}` did not converge"),
@@ -403,10 +409,15 @@ impl GanaxMachine {
         layer: &Layer,
         weights: &Tensor,
     ) -> Result<PlannedLayer, MachineError> {
+        self.config
+            .validate()
+            .map_err(|error| MachineError::Config { error })?;
         let params = self.validate_weights(layer, weights)?;
         // One PE sizing governs both the plan (chunk/stream limits) and the
         // worker PEs, so chunks can never outgrow the engines executing them.
-        let pe_config = PeConfig::roomy();
+        // The sizing comes from the config (`GanaxConfig::sim_pe`; the
+        // roomy functional-validation default unless overridden).
+        let pe_config = self.config.sim_pe;
         let plan = LayerPlan::build(layer, &params, weights, &pe_config);
         Ok(PlannedLayer { pe_config, plan })
     }
@@ -517,6 +528,9 @@ impl GanaxMachine {
         input: &Tensor,
         weights: &Tensor,
     ) -> Result<MachineRun, MachineError> {
+        self.config
+            .validate()
+            .map_err(|error| MachineError::Config { error })?;
         let params = self.validate(layer, input, weights)?;
         let geometry = LayerGeometry::for_layer(layer);
         let mut output = Tensor::zeros(layer.output);
@@ -527,7 +541,7 @@ impl GanaxMachine {
         // One PE is reused per work unit; the mapping of units to physical PEs
         // round-robins across the array, which only matters for the activity
         // counters (each unit's traffic is identical wherever it runs).
-        let mut pe = ProcessingEngine::new(PeConfig::roomy());
+        let mut pe = ProcessingEngine::new(self.config.sim_pe);
 
         for co in 0..layer.output.channels {
             for oy in 0..layer.output.height {

@@ -16,14 +16,21 @@
 //! vector, output rows to processing vectors, and cycles accumulate per
 //! "pass" of the array (node work + horizontal partial-sum accumulation).
 
+use serde::{Deserialize, Serialize};
+
 use crate::geometry::LayerGeometry;
 
 /// Dimensions of the PE array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The array is MIMD across its rows and SIMD along them: each processing
+/// vector (PV) follows its own microprogram while the PEs inside a PV stay in
+/// lockstep. `num_pvs` is therefore the MIMD dimension and `pes_per_pv` the
+/// SIMD lane count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArrayConfig {
     /// Number of processing vectors (rows of PEs sharing a local µop buffer).
     pub num_pvs: usize,
-    /// Number of PEs per processing vector.
+    /// Number of PEs per processing vector (the SIMD lane count).
     pub pes_per_pv: usize,
 }
 
@@ -39,6 +46,11 @@ impl ArrayConfig {
     /// Total number of PEs.
     pub fn total_pes(&self) -> usize {
         self.num_pvs * self.pes_per_pv
+    }
+
+    /// The SIMD lane count (alias for [`ArrayConfig::pes_per_pv`]).
+    pub fn simd_lanes(&self) -> usize {
+        self.pes_per_pv
     }
 }
 

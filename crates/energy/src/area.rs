@@ -8,8 +8,10 @@
 //! Removing exactly those units from the GANAX total yields the baseline area
 //! and the ≈7.8 % overhead the paper reports.
 
+use serde::{Deserialize, Serialize};
+
 /// Area of the units inside one processing engine, in µm² (Table III).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PeAreaBreakdown {
     /// Input register (12 × 16 bits).
     pub input_register: f64,
@@ -82,7 +84,7 @@ impl PeAreaBreakdown {
 }
 
 /// Accelerator-level area model (Table III).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AreaModel {
     /// Per-PE unit areas.
     pub pe: PeAreaBreakdown,

@@ -1,12 +1,14 @@
 //! The Table II energy model.
 
+use serde::{Deserialize, Serialize};
+
 use crate::counts::{EnergyBreakdown, EventCounts};
 
 /// Per-access energy costs, in picojoules per bit (Table II of the paper).
 ///
 /// The PE cost covers one 16-bit fixed-point arithmetic operation *including*
 /// the strided µindex generators, as the paper notes under Table II.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyModel {
     /// Energy per bit of a register-file access (pJ/bit).
     pub register_file_pj_per_bit: f64,

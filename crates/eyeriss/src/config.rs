@@ -2,12 +2,13 @@
 
 use ganax_dataflow::ArrayConfig;
 use ganax_energy::EnergyModel;
+use serde::{Deserialize, Serialize};
 
 /// Configuration shared by the Eyeriss baseline and the GANAX accelerator:
 /// the PE-array organization, the clock frequency and the Table II energy
 /// model. Both accelerators use identical values in the paper ("the same
 /// number of PEs and on-chip memory are used for both accelerators", 500 MHz).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AcceleratorConfig {
     /// PE-array organization.
     pub array: ArrayConfig,

@@ -3,6 +3,7 @@
 
 use ganax_energy::EventCounts;
 use ganax_isa::{AccessUop, AddrGenKind, ExecUop};
+use serde::{Deserialize, Serialize};
 
 use crate::access::AccessEngine;
 use crate::execute::{ActivationKind, ExecuteEngine};
@@ -11,7 +12,7 @@ use crate::index_gen::{GeneratorConfig, StridedIndexGenerator};
 use crate::scratchpad::Scratchpad;
 
 /// Sizing of one processing engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PeConfig {
     /// Words in the input scratchpad.
     pub input_words: usize,

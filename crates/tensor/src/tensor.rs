@@ -22,6 +22,26 @@ impl Tensor {
         }
     }
 
+    /// Creates a deterministic pseudo-random tensor: an xorshift64 stream
+    /// seeded from `seed`, mapped to `[-1, 1)` in steps of 1/1000. The single
+    /// source of the reproducible operands used by the benches, the
+    /// conformance suites and the sweep engine's machine spot checks — one
+    /// definition, so their numbers stay comparable.
+    pub fn deterministic(shape: Shape, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32 / 1000.0) - 1.0
+        };
+        let mut tensor = Tensor::zeros(shape);
+        for v in tensor.data_mut() {
+            *v = next();
+        }
+        tensor
+    }
+
     /// Creates a tensor with every element set to `value`.
     pub fn filled(shape: Shape, value: f32) -> Self {
         Tensor {

@@ -1,20 +1,23 @@
 //! Offline stand-in for the `serde` crate.
 //!
 //! The build environment for this repository has no access to crates.io, so
-//! this workspace vendors the *tiny* slice of serde's surface that the
-//! `ganax-bench` crate actually uses: a [`Serialize`] trait, a JSON-shaped
-//! [`Value`] tree, and a `#[derive(Serialize)]` macro (re-exported from the
-//! sibling `serde_derive` shim). Swapping in the real serde later only
-//! requires editing `Cargo.toml` — the call sites are API-compatible.
+//! this workspace vendors the *tiny* slice of serde's surface that this
+//! workspace actually uses: a [`Serialize`] trait, a [`Deserialize`] trait, a
+//! JSON-shaped [`Value`] tree, and `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros (re-exported from the sibling
+//! `serde_derive` shim). Swapping in the real serde later only requires
+//! editing `Cargo.toml` — the call sites are API-compatible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-// The derive macro emits `serde::`-prefixed paths; alias this crate to its
-// own name so the derive also works from inside the crate (e.g. its tests).
+use std::fmt;
+
+// The derive macros emit `serde::`-prefixed paths; alias this crate to its
+// own name so the derives also work from inside the crate (e.g. its tests).
 extern crate self as serde;
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// A JSON-shaped value tree produced by [`Serialize::to_value`].
 ///
@@ -103,6 +106,153 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Error produced when a [`Value`] tree cannot be decoded into a type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a human-readable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can reconstruct themselves from a [`Value`] tree — the inverse
+/// of [`Serialize`].
+///
+/// This replaces serde's visitor-based `Deserialize` trait with the simplest
+/// design that supports `serde_json::from_str`: parse the text into an
+/// in-memory tree, then decode the tree.
+pub trait Deserialize: Sized {
+    /// Decodes `value` into `Self`.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            other => Err(DeError::new(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),+) => {
+        $(impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                // Integral f64 values are exactly representable as i128
+                // (|f64 integers| < 2^1024 saturate, which try_from then
+                // rejects for every target type), so routing the cast
+                // through i128 + try_from is exact at all type boundaries —
+                // unlike a `<= MAX as f64` comparison, which rounds 64-bit
+                // MAX values up and would admit out-of-range inputs.
+                if let Value::Number(n) = value {
+                    if n.is_finite() && n.fract() == 0.0 {
+                        if let Ok(v) = <$ty>::try_from(*n as i128) {
+                            return Ok(v);
+                        }
+                    }
+                }
+                Err(DeError::new(format!(
+                    concat!("expected ", stringify!($ty), ", found {:?}"),
+                    value
+                )))
+            }
+        })+
+    };
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Looks field `name` up in an object's `(key, value)` pairs and decodes it.
+/// Used by the `#[derive(Deserialize)]` shim; `ty` names the struct being
+/// decoded so errors read `Struct.field: ...`.
+///
+/// # Errors
+/// Returns [`DeError`] when the field is missing or its value fails to decode.
+pub fn decode_field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => {
+            T::from_value(value).map_err(|e| DeError::new(format!("{ty}.{name}: {e}")))
+        }
+        None => Err(DeError::new(format!("{ty}: missing field `{name}`"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +276,54 @@ mod tests {
                 Value::Number(3.0)
             ])
         );
+    }
+
+    #[test]
+    fn primitives_deserialize() {
+        assert_eq!(f64::from_value(&Value::Number(1.5)), Ok(1.5));
+        assert_eq!(u32::from_value(&Value::Number(7.0)), Ok(7));
+        assert!(u32::from_value(&Value::Number(7.5)).is_err());
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(i8::from_value(&Value::Number(-129.0)).is_err());
+        assert_eq!(
+            String::from_value(&Value::String("hi".into())),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Number(2.0)),
+            Ok(Some(2.0))
+        );
+        assert!(bool::from_value(&Value::Number(1.0)).is_err());
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+    }
+
+    #[test]
+    fn derive_deserialize_round_trips_and_reports_missing_fields() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Row {
+            name: String,
+            score: f64,
+        }
+        let row = Row {
+            name: "dcgan".into(),
+            score: 0.25,
+        };
+        assert_eq!(
+            Row::from_value(&row.to_value()),
+            Ok(Row {
+                name: "dcgan".into(),
+                score: 0.25,
+            })
+        );
+        let incomplete = Value::Object(vec![("name".to_string(), "x".to_value())]);
+        let err = Row::from_value(&incomplete).unwrap_err();
+        assert!(err.to_string().contains("missing field `score`"), "{err}");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! Implements `#[derive(Serialize)]` for the only shape this workspace needs:
-//! non-generic structs with named fields whose types implement
-//! `serde::Serialize`. The macro is written against `proc_macro` alone (no
-//! `syn`/`quote`) because the build environment cannot reach crates.io.
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! only shape this workspace needs: non-generic structs with named fields
+//! whose types implement `serde::Serialize` / `serde::Deserialize`. The
+//! macros are written against `proc_macro` alone (no `syn`/`quote`) because
+//! the build environment cannot reach crates.io.
 
 #![warn(missing_docs)]
 
@@ -27,6 +28,30 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     )
     .parse()
     .expect("generated Serialize impl should parse")
+}
+
+/// Derives `serde::Deserialize` by decoding each named field from a
+/// `serde::Value::Object` via `serde::decode_field` (missing fields and
+/// type mismatches produce descriptive `serde::DeError`s).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: serde::decode_field(fields, \"{f}\", \"{name}\")?,"))
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \tfn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         \t\tlet serde::Value::Object(fields) = value else {{\n\
+         \t\t\treturn Err(serde::DeError::new(\"expected object for {name}\"));\n\
+         \t\t}};\n\
+         \t\tOk({name} {{ {inits} }})\n\
+         \t}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl should parse")
 }
 
 /// Extracts the struct name and its named-field identifiers from the derive
