@@ -1,0 +1,59 @@
+//! Serving-path bench: warm cached-plan requests and batched execution on
+//! the compile-once inference engine, against the cold staged baseline.
+//!
+//! The full-size wall-clock report lives in the `bench_serve` binary (it
+//! needs a JSON emitter); this bench tracks the engine's hot paths under
+//! Criterion so regressions show up in `cargo bench serve`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganax::{GanaxMachine, InferenceEngine};
+use ganax_bench::{deterministic_tensor, network_weights};
+use ganax_models::zoo;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+
+    let network = zoo::reduced_generator("DCGAN", 8).expect("DCGAN is in the zoo");
+    let weights = network_weights(&network, 7);
+    let input = deterministic_tensor(network.input_shape(), 13);
+    let machine = GanaxMachine::paper();
+    let engine = InferenceEngine::new(machine, 2);
+    let compiled = engine
+        .compile(&network, &weights)
+        .expect("network compiles");
+
+    group.bench_function("dcgan_reduced8_cold_staged", |b| {
+        b.iter(|| {
+            let run = machine
+                .execute_network_staged(&network, &input, &weights, 2)
+                .expect("staged baseline executes");
+            std::hint::black_box(run.total_busy_pe_cycles())
+        })
+    });
+
+    group.bench_function("dcgan_reduced8_warm_engine", |b| {
+        b.iter(|| {
+            let run = engine
+                .execute(&compiled, &input)
+                .expect("warm request executes");
+            std::hint::black_box(run.total_busy_pe_cycles())
+        })
+    });
+
+    group.bench_function("dcgan_reduced8_batch4", |b| {
+        let inputs: Vec<_> = (0..4)
+            .map(|k| deterministic_tensor(network.input_shape(), 13 + k))
+            .collect();
+        b.iter(|| {
+            let run = engine
+                .execute_batch(&compiled, &inputs)
+                .expect("batch executes");
+            std::hint::black_box(run.busy_pe_cycles)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

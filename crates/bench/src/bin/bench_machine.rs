@@ -5,15 +5,19 @@
 //! cargo run --release -p ganax-bench --bin bench_machine             # full run
 //! cargo run --release -p ganax-bench --bin bench_machine -- --quick  # CI smoke
 //! cargo run --release -p ganax-bench --bin bench_machine -- --out path.json
+//! cargo run --release -p ganax-bench --bin bench_machine -- --threads 1,2,4,8
+//! GANAX_BENCH_THREADS=1,2,4 cargo run --release -p ganax-bench --bin bench_machine
 //! ```
 //!
 //! Each row records the wall-clock time of the seed single-step path, the
 //! burst-stepped serial fast path and the threaded fast path on one layer
-//! geometry, plus simulated-cycles-per-second and the resulting speedups. The
-//! fast-path results are asserted bit-identical to the reference before any
-//! timing is reported.
+//! geometry, plus simulated-cycles-per-second, the resulting speedups, and a
+//! full sweep over the requested thread counts (`--threads` /
+//! `GANAX_BENCH_THREADS`, defaulting to `1,2,4,available`). The fast-path
+//! results are asserted bit-identical to the reference before any timing is
+//! reported.
 
-use ganax_bench::{machine_bench, MachineBenchRow};
+use ganax_bench::{bench_thread_counts, machine_bench, MachineBenchRow};
 use serde::Serialize;
 
 /// The emitted `BENCH_machine.json` document.
@@ -23,8 +27,8 @@ struct BenchReport {
     bench: String,
     /// Whether the quick (CI smoke) geometry set was used.
     quick: bool,
-    /// Worker threads available to the threaded measurements.
-    threads: usize,
+    /// Worker-thread counts the threaded scheduler was swept over.
+    thread_counts: Vec<usize>,
     /// Per-geometry measurements.
     rows: Vec<MachineBenchRow>,
 }
@@ -43,11 +47,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_machine.json".to_string());
+    let threads_arg = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let thread_counts = bench_thread_counts(threads_arg.as_deref());
 
-    let rows = machine_bench(quick);
+    let rows = machine_bench(quick, &thread_counts);
     for row in &rows {
         println!(
-            "{:<20} {:>12} cycles  ref {:>9.1} ms  fast {:>8.1} ms ({:>5.1}x)  threaded {:>8.1} ms ({:>5.1}x)",
+            "{:<20} {:>12} cycles  ref {:>9.1} ms  fast {:>8.1} ms ({:>5.1}x)  threaded {:>8.1} ms ({:>5.1}x @ {}t)",
             row.layer,
             row.busy_pe_cycles,
             row.reference_ms,
@@ -55,13 +65,20 @@ fn main() {
             row.speedup_fast_serial,
             row.threaded_ms,
             row.speedup_threaded,
+            row.threads,
         );
+        for timing in &row.thread_sweep {
+            println!(
+                "    {:>2} threads  {:>8.1} ms  ({:>5.2}x vs serial)",
+                timing.threads, timing.ms, timing.speedup_vs_serial,
+            );
+        }
     }
 
     let report = BenchReport {
         bench: "machine".to_string(),
         quick,
-        threads: rows.first().map(|r| r.threads).unwrap_or(1),
+        thread_counts,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -5,13 +5,16 @@
 //! cargo run --release -p ganax-bench --bin bench_network             # full size
 //! cargo run --release -p ganax-bench --bin bench_network -- --quick  # CI smoke
 //! cargo run --release -p ganax-bench --bin bench_network -- --out path.json
+//! cargo run --release -p ganax-bench --bin bench_network -- --threads 1,2,4
 //! ```
 //!
 //! The report records per-layer busy cycles, load balance and wall-clock,
-//! total simulated-cycles-per-second, the machine-vs-analytic cross-check,
-//! and the simulated speedup/energy direction against the Eyeriss baseline.
+//! total simulated-cycles-per-second, a one-shot thread-count sweep
+//! (`--threads` / `GANAX_BENCH_THREADS`, default `1,2,4,available`), the
+//! machine-vs-analytic cross-check, and the simulated speedup/energy
+//! direction against the Eyeriss baseline.
 
-use ganax_bench::network_bench;
+use ganax_bench::{bench_thread_counts, network_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,8 +25,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_network.json".to_string());
+    let threads_arg = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let thread_counts = bench_thread_counts(threads_arg.as_deref());
 
-    let report = network_bench(quick);
+    let report = network_bench(quick, &thread_counts);
     for row in &report.rows {
         println!(
             "{:<12} {}  {:>12} cycles  balance {:>5.3}  {:>9.1} ms",
@@ -35,13 +44,20 @@ fn main() {
         );
     }
     println!(
-        "{}: {} busy cycles in {:.1} ms ({:.1}M cycles/s, {} threads)",
+        "{}: {} busy cycles in {:.1} ms ({:.1}M cycles/s, {} threads, plan {:.1} ms)",
         report.network,
         report.total_busy_pe_cycles,
         report.total_wall_ms,
         report.cycles_per_sec / 1e6,
         report.threads,
+        report.plan_ms,
     );
+    for timing in &report.thread_scaling {
+        println!(
+            "  one-shot @ {:>2} threads  {:>9.1} ms  ({:>5.2}x vs serial)",
+            timing.threads, timing.ms, timing.speedup_vs_serial,
+        );
+    }
     println!(
         "cross-check {}  simulated speedup {:.2}x  energy reduction {:.2}x",
         if report.cross_check_consistent {

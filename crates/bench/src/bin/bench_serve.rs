@@ -1,0 +1,87 @@
+//! Benchmarks the compile-once inference engine as a serving system on the
+//! DCGAN generator and emits `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p ganax-bench --bin bench_serve             # full size
+//! cargo run --release -p ganax-bench --bin bench_serve -- --quick  # CI smoke
+//! cargo run --release -p ganax-bench --bin bench_serve -- --out path.json
+//! cargo run --release -p ganax-bench --bin bench_serve -- --threads 1,2,4 --batch 8
+//! ```
+//!
+//! The report compares three ways of serving one request:
+//!
+//! * **cold** — the pre-engine staged path: plans rebuilt on every call,
+//!   per-layer scoped worker spawns with fresh PEs, operand streams
+//!   re-gathered per output row;
+//! * **warm** — a cached [`ganax::CompiledNetwork`] on the engine's
+//!   persistent pool (PEs and buffers reset in place, zero planning —
+//!   asserted);
+//! * **batched** — [`ganax::InferenceEngine::execute_batch`] amortizing
+//!   staged weight streams across batch × rows on a 4+-worker pool.
+//!
+//! Every path is asserted bit-identical to the staged baseline before its
+//! timing is reported.
+
+use ganax_bench::{bench_thread_counts, serve_bench};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let threads_arg = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let thread_counts = bench_thread_counts(threads_arg.as_deref());
+    let batch_size = args
+        .iter()
+        .position(|a| a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let report = serve_bench(quick, &thread_counts, batch_size);
+    println!(
+        "{} ({} threads): cold {:.1} ms (plan {:.1} ms)  warm {:.1} ms  -> {:.2}x",
+        report.network,
+        report.threads,
+        report.cold_ms,
+        report.cold_plan_ms,
+        report.warm_ms,
+        report.speedup_warm_vs_cold,
+    );
+    println!(
+        "compile {:.1} ms  first request {:.1} ms  warm plan {:.1} ms  {:.1}M cycles/s warm",
+        report.compile_ms,
+        report.first_request_ms,
+        report.warm_plan_ms,
+        report.warm_cycles_per_sec / 1e6,
+    );
+    for row in &report.thread_rows {
+        println!(
+            "  warm @ {:>2} threads  {:>9.1} ms  {:.3} inf/s",
+            row.threads, row.warm_ms, row.inferences_per_sec,
+        );
+    }
+    for row in &report.batch_rows {
+        println!(
+            "  batch {} @ {:>2} threads  {:>9.1} ms  {:.3} inf/s  ({:.2}x vs same-pool serial, {:.2}x vs best serial)",
+            row.batch,
+            row.threads,
+            row.wall_ms,
+            row.inferences_per_sec,
+            row.speedup_vs_warm_serial,
+            row.speedup_vs_best_serial,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("BENCH_serve.json is writable");
+    println!("wrote {out_path}");
+}

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use ganax::compare::{compare_all, geometric_mean, ModelComparison, SimulatedComparison};
 use ganax::sweep::MachineSweepCell;
-use ganax::{DesignSummary, GanaxMachine, NetworkWeights, SweepCell, SweepSpec};
+use ganax::{DesignSummary, GanaxMachine, InferenceEngine, NetworkWeights, SweepCell, SweepSpec};
 use ganax_energy::EnergyCategory;
 use ganax_models::{zoo, Layer, Network};
 use ganax_tensor::{Shape, Tensor};
@@ -171,6 +171,64 @@ pub fn figure11(comparisons: &[ModelComparison]) -> Vec<Fig11Row> {
         .collect()
 }
 
+/// The worker-thread counts a bench sweeps.
+///
+/// Resolution order: an explicit `--threads a,b,c` argument, the
+/// `GANAX_BENCH_THREADS` environment variable (same comma-separated format),
+/// then the default `[1, 2, 4, available_parallelism]`. The list is sorted
+/// and deduplicated. Forcing counts above the host's parallelism is
+/// deliberate — the schedulers are thread-count invariant, so oversubscribed
+/// sweeps still measure the sharding machinery even on single-core runners
+/// (where the old benches silently collapsed every row to `threads == 1`).
+///
+/// # Panics
+/// Panics on an explicitly provided but unparseable spec (e.g. `--threads
+/// l6`) instead of silently sweeping the default counts; a blank spec falls
+/// back to the default.
+pub fn bench_thread_counts(arg: Option<&str>) -> Vec<usize> {
+    let spec = arg
+        .map(str::to_string)
+        .or_else(|| std::env::var("GANAX_BENCH_THREADS").ok());
+    let mut counts: Vec<usize> = match spec.as_deref().map(str::trim).filter(|s| !s.is_empty()) {
+        Some(list) => list
+            .split(',')
+            .map(|s| match s.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                // An explicitly requested sweep must not silently fall back
+                // to the default: a typo (`l6` for 16) would otherwise
+                // record a sweep the user never asked for.
+                _ => panic!("invalid thread count `{s}` in `{list}`: expected positive integers separated by commas"),
+            })
+            .collect(),
+        None => vec![1, 2, 4, available_parallelism()],
+    };
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One point of a thread-count sweep: wall-clock of the same workload at one
+/// worker count (results are bit-identical across the sweep; only time moves).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadTiming {
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Wall-clock milliseconds at this count.
+    pub ms: f64,
+    /// Speedup over the workload's single-threaded measurement: the
+    /// independently timed serial fast path for `machine_bench` rows, and
+    /// the sweep's `threads == 1` point for `network_bench` rows (1.0 there
+    /// when no single-threaded point was swept).
+    pub speedup_vs_serial: f64,
+}
+
 /// One row of the cycle-level machine performance benchmark
 /// (`BENCH_machine.json`): wall-clock time of the seed single-step serial
 /// path versus the burst-stepped fast path (serial and threaded) on one layer
@@ -189,10 +247,16 @@ pub struct MachineBenchRow {
     pub reference_ms: f64,
     /// Wall-clock milliseconds of the burst-stepped serial fast path.
     pub fast_serial_ms: f64,
-    /// Wall-clock milliseconds of the threaded fast path.
+    /// Wall-clock milliseconds of the threaded fast path at the best swept
+    /// thread count.
     pub threaded_ms: f64,
-    /// Worker threads used for `threaded_ms`.
+    /// Worker threads used for `threaded_ms` (the best-performing swept
+    /// count).
     pub threads: usize,
+    /// The full thread-count sweep behind `threaded_ms` (see
+    /// [`bench_thread_counts`]): every swept count with its wall-clock and
+    /// its speedup over the sweep's serial point.
+    pub thread_sweep: Vec<ThreadTiming>,
     /// Simulated busy cycles per wall-clock second on the serial fast path.
     pub fast_serial_cycles_per_sec: f64,
     /// `reference_ms / fast_serial_ms`.
@@ -367,13 +431,13 @@ fn time_best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (T, f64) {
 }
 
 /// Measures the seed single-step serial path against the burst-stepped fast
-/// paths on every [`machine_bench_layers`] geometry. Every path is timed
-/// best-of-5 so noisy samples cannot skew the recorded speedups.
-pub fn machine_bench(quick: bool) -> Vec<MachineBenchRow> {
+/// paths on every [`machine_bench_layers`] geometry, sweeping the threaded
+/// scheduler over `thread_counts` (see [`bench_thread_counts`]). Every path
+/// is timed best-of-5 so noisy samples cannot skew the recorded speedups,
+/// and every swept run is asserted bit-identical to the reference before any
+/// timing is reported.
+pub fn machine_bench(quick: bool, thread_counts: &[usize]) -> Vec<MachineBenchRow> {
     let machine = GanaxMachine::paper();
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let samples = 5;
     machine_bench_layers(quick)
         .into_iter()
@@ -391,19 +455,34 @@ pub fn machine_bench(quick: bool) -> Vec<MachineBenchRow> {
                     .expect("fast path executes the bench layer")
             });
             assert_eq!(reference, fast, "fast path diverged from the reference");
-            // On a single-core host the "threaded" run would re-time the
-            // identical serial path; reuse the serial number instead of
-            // recording noise as a threading result.
-            let threaded_ms = if threads > 1 {
-                time_best_of(samples, || {
-                    machine
-                        .execute_layer_threaded(&layer, &input, &weights, threads)
-                        .expect("threaded path executes the bench layer")
+            let thread_sweep: Vec<ThreadTiming> = thread_counts
+                .iter()
+                .map(|&threads| {
+                    let (run, ms) = if threads == 1 {
+                        (fast.clone(), fast_serial_ms)
+                    } else {
+                        time_best_of(samples, || {
+                            machine
+                                .execute_layer_threaded(&layer, &input, &weights, threads)
+                                .expect("threaded path executes the bench layer")
+                        })
+                    };
+                    assert_eq!(reference, run, "{threads}-thread run diverged");
+                    ThreadTiming {
+                        threads,
+                        ms,
+                        speedup_vs_serial: fast_serial_ms / ms,
+                    }
                 })
-                .1
-            } else {
-                fast_serial_ms
-            };
+                .collect();
+            // The headline threaded numbers come from the best-performing
+            // swept count (serial included, so a single-core host records an
+            // honest 1.0x instead of scheduler-overhead noise).
+            let best = thread_sweep
+                .iter()
+                .min_by(|a, b| a.ms.total_cmp(&b.ms))
+                .expect("thread sweep is never empty");
+            let (threads, threaded_ms) = (best.threads, best.ms);
             let params = layer.op.conv_params().expect("conv/tconv layer");
             MachineBenchRow {
                 layer: layer.name.clone(),
@@ -417,6 +496,7 @@ pub fn machine_bench(quick: bool) -> Vec<MachineBenchRow> {
                 fast_serial_ms,
                 threaded_ms,
                 threads,
+                thread_sweep,
                 fast_serial_cycles_per_sec: fast.busy_pe_cycles as f64 / (fast_serial_ms / 1e3),
                 speedup_fast_serial: reference_ms / fast_serial_ms,
                 speedup_threaded: reference_ms / threaded_ms,
@@ -466,8 +546,14 @@ pub struct NetworkBenchReport {
     pub total_busy_pe_cycles: u64,
     /// Total wall-clock milliseconds.
     pub total_wall_ms: f64,
+    /// Wall-clock milliseconds spent planning layers during the primary run.
+    pub plan_ms: f64,
     /// Simulated busy cycles per wall-clock second.
     pub cycles_per_sec: f64,
+    /// One-shot (`execute_network_threaded`: compile + run) wall-clock over
+    /// the swept worker counts (see [`bench_thread_counts`]); every swept
+    /// run's output is asserted identical to the primary run's.
+    pub thread_scaling: Vec<ThreadTiming>,
     /// Whether every layer's measured MACs agree with the analytic model.
     pub cross_check_consistent: bool,
     /// Simulated speedup over the Eyeriss baseline (machine layers only).
@@ -478,8 +564,9 @@ pub struct NetworkBenchReport {
 
 /// Runs the DCGAN generator end to end on the cycle-level machine — full
 /// size, or channel-capped at 64 with `quick` for CI smoke runs — and
-/// packages the [`SimulatedComparison`] into a serializable report.
-pub fn network_bench(quick: bool) -> NetworkBenchReport {
+/// packages the [`SimulatedComparison`] into a serializable report, plus a
+/// one-shot thread-count sweep over `thread_counts`.
+pub fn network_bench(quick: bool, thread_counts: &[usize]) -> NetworkBenchReport {
     let generator = zoo::dcgan().generator;
     let network = if quick {
         generator
@@ -493,6 +580,35 @@ pub fn network_bench(quick: bool) -> NetworkBenchReport {
     let report =
         SimulatedComparison::run(&network, &input, &weights).expect("DCGAN generator executes");
     let execution = &report.execution;
+    let machine = GanaxMachine::paper();
+    let thread_scaling: Vec<ThreadTiming> = {
+        let timed: Vec<(usize, f64)> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let start = Instant::now();
+                let run = machine
+                    .execute_network_threaded(&network, &input, &weights, threads)
+                    .expect("swept run executes");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    run.output, execution.output,
+                    "{threads}-thread sweep diverged from the primary run"
+                );
+                (threads, ms)
+            })
+            .collect();
+        // Normalize to the sweep's true single-threaded point (matching
+        // `machine_bench`'s semantics); without one the rows report 1.0.
+        let serial_ms = timed.iter().find(|(t, _)| *t == 1).map(|&(_, ms)| ms);
+        timed
+            .into_iter()
+            .map(|(threads, ms)| ThreadTiming {
+                threads,
+                ms,
+                speedup_vs_serial: serial_ms.map_or(1.0, |serial| serial / ms),
+            })
+            .collect()
+    };
     let rows = network
         .layer_shapes()
         .into_iter()
@@ -516,10 +632,248 @@ pub fn network_bench(quick: bool) -> NetworkBenchReport {
         rows,
         total_busy_pe_cycles: execution.total_busy_pe_cycles(),
         total_wall_ms: execution.wall_seconds * 1e3,
+        plan_ms: execution.plan_seconds * 1e3,
         cycles_per_sec: execution.cycles_per_second(),
+        thread_scaling,
         cross_check_consistent: report.is_consistent(),
         simulated_speedup: report.simulated_speedup(),
         simulated_energy_reduction: report.simulated_energy_reduction(),
+    }
+}
+
+/// One warm-path thread-scaling row of `BENCH_serve.json`: single-inference
+/// latency on a cached [`ganax::CompiledNetwork`] at one pool size.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeThreadRow {
+    /// Pool workers in the engine.
+    pub threads: usize,
+    /// Warm single-inference wall-clock milliseconds (best of 2).
+    pub warm_ms: f64,
+    /// Warm single-inference throughput (`1e3 / warm_ms`).
+    pub inferences_per_sec: f64,
+}
+
+/// One batched-execution row of `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBatchRow {
+    /// Inferences in the batch.
+    pub batch: usize,
+    /// Pool workers in the engine.
+    pub threads: usize,
+    /// Batch wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Batch throughput in inferences per second.
+    pub inferences_per_sec: f64,
+    /// Batch throughput over the **same pool's** warm serial throughput
+    /// (one inference at a time on the batch pool): > 1.0 means a server
+    /// holding this pool gains by batching instead of serving sequentially.
+    pub speedup_vs_warm_serial: f64,
+    /// Batch throughput over the **best** warm serial throughput across the
+    /// swept pool sizes (`thread_rows`) — the honest cross-configuration
+    /// comparison; on a single-core host this can dip below 1.0 even when
+    /// same-pool batching wins.
+    pub speedup_vs_best_serial: f64,
+}
+
+/// The serving benchmark report behind `BENCH_serve.json`: cold (uncompiled,
+/// pre-engine staged path) versus warm (cached-plan engine) single-inference
+/// latency, warm thread scaling, and batched throughput — all on the DCGAN
+/// generator, all bit-identical to the staged baseline (asserted before any
+/// number is reported).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Benchmark family name.
+    pub bench: String,
+    /// Whether the quick (channel-capped) variant was used.
+    pub quick: bool,
+    /// Network served.
+    pub network: String,
+    /// Pool workers behind the headline cold/warm numbers
+    /// (`available_parallelism`).
+    pub threads: usize,
+    /// Cold request latency in milliseconds (best of 2): the pre-engine
+    /// staged path — plans rebuilt, per-layer scoped worker spawns, fresh
+    /// PEs, operand streams re-gathered per output row.
+    pub cold_ms: f64,
+    /// Planning milliseconds inside the cold request.
+    pub cold_plan_ms: f64,
+    /// One-time [`ganax::CompiledNetwork::compile`] milliseconds.
+    pub compile_ms: f64,
+    /// First request on a fresh engine (pool spawn + compile + run), in
+    /// milliseconds.
+    pub first_request_ms: f64,
+    /// Warm request latency in milliseconds (best of 3): cached plans,
+    /// persistent pool, PEs and buffers reset in place.
+    pub warm_ms: f64,
+    /// Planning milliseconds during warm runs — asserted to be exactly zero
+    /// (the plan cache was hit).
+    pub warm_plan_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup_warm_vs_cold: f64,
+    /// Warm single-inference throughput at the headline pool size.
+    pub warm_inferences_per_sec: f64,
+    /// Busy PE cycles of one inference.
+    pub busy_pe_cycles: u64,
+    /// Simulated busy cycles per wall-clock second on the warm path.
+    pub warm_cycles_per_sec: f64,
+    /// Whether every engine path reproduced the staged baseline bit for bit
+    /// (outputs, busy cycles and counters) — asserted, so a recorded report
+    /// always says `true`.
+    pub bit_identical: bool,
+    /// Warm latency across the swept pool sizes.
+    pub thread_rows: Vec<ServeThreadRow>,
+    /// Batched throughput rows (pool of `max(4, available)` workers).
+    pub batch_rows: Vec<ServeBatchRow>,
+}
+
+/// Runs the serving benchmark on the DCGAN generator (channel-capped at 64
+/// with `quick`): cold staged baseline, warm engine requests, a warm
+/// thread-scaling sweep over `thread_counts`, and batched execution of
+/// `batch_size` inferences on a `max(4, available)`-worker pool.
+///
+/// Every engine run is asserted bit-identical (output, busy cycles,
+/// counters) to the staged baseline before its timing is reported, and warm
+/// runs are asserted to perform zero planning.
+pub fn serve_bench(quick: bool, thread_counts: &[usize], batch_size: usize) -> ServeBenchReport {
+    let generator = zoo::dcgan().generator;
+    let network = if quick {
+        generator
+            .reduced(64)
+            .expect("DCGAN generator reduces cleanly")
+    } else {
+        generator
+    };
+    let weights = network_weights(&network, 2027);
+    let input = deterministic_tensor(network.input_shape(), 4099);
+    let machine = GanaxMachine::paper();
+    let threads = available_parallelism();
+
+    // Cold: what one request costs without a compiled artifact.
+    let (cold, cold_ms) = time_best_of(2, || {
+        machine
+            .execute_network_staged(&network, &input, &weights, threads)
+            .expect("staged path executes the generator")
+    });
+
+    // Warm: compile once, serve from the cached artifact.
+    let engine = InferenceEngine::new(machine, threads);
+    let compile_start = Instant::now();
+    let compiled = engine
+        .compile(&network, &weights)
+        .expect("network compiles");
+    let compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
+    let mut warm_plan_ms = 0.0f64;
+    let (warm, warm_ms) = time_best_of(3, || {
+        let run = engine
+            .execute(&compiled, &input)
+            .expect("warm request executes");
+        warm_plan_ms = warm_plan_ms.max(run.plan_seconds * 1e3);
+        run
+    });
+    assert_eq!(
+        warm_plan_ms, 0.0,
+        "warm runs must not plan: the plan cache was missed"
+    );
+    // The planning work must actually exist and land at compile time — this
+    // keeps the zero-warm-planning gate above from being satisfiable by a
+    // path that simply stopped accounting for planning altogether.
+    assert!(
+        compile_ms > 0.0 && cold.plan_seconds > 0.0,
+        "planning cost vanished: compile {compile_ms} ms, cold plan {} s",
+        cold.plan_seconds
+    );
+    assert_eq!(warm.output, cold.output, "warm output diverged from cold");
+    assert_eq!(warm.total_counts(), cold.total_counts(), "counter drift");
+    assert_eq!(warm.total_busy_pe_cycles(), cold.total_busy_pe_cycles());
+
+    // First request on a fresh engine: pool spawn + compile + run.
+    let (_, first_request_ms) = time_best_of(1, || {
+        let fresh = InferenceEngine::new(machine, threads);
+        let artifact = fresh.compile(&network, &weights).expect("network compiles");
+        fresh
+            .execute(&artifact, &input)
+            .expect("first request executes")
+    });
+
+    // Warm thread scaling: the artifact is engine-independent, so one
+    // compile serves every pool size.
+    let thread_rows: Vec<ServeThreadRow> = thread_counts
+        .iter()
+        .map(|&t| {
+            let pool = InferenceEngine::new(machine, t);
+            let (run, ms) = time_best_of(2, || {
+                pool.execute(&compiled, &input).expect("swept run executes")
+            });
+            assert_eq!(run.output, cold.output, "{t}-thread output diverged");
+            ServeThreadRow {
+                threads: t,
+                warm_ms: ms,
+                inferences_per_sec: 1e3 / ms,
+            }
+        })
+        .collect();
+
+    // Batched throughput on a 4+-worker pool, versus the same pool serving
+    // the batch one inference at a time.
+    let batch_threads = threads.max(4);
+    let batch_pool = InferenceEngine::new(machine, batch_threads);
+    let (_, serial_ms) = time_best_of(2, || {
+        batch_pool
+            .execute(&compiled, &input)
+            .expect("serial baseline executes")
+    });
+    let inputs: Vec<Tensor> = (0..batch_size.max(1))
+        .map(|k| deterministic_tensor(network.input_shape(), 4099 + 31 * k as u64))
+        .collect();
+    let singles: Vec<Tensor> = inputs
+        .iter()
+        .map(|one| {
+            batch_pool
+                .execute(&compiled, one)
+                .expect("per-element baseline executes")
+                .output
+        })
+        .collect();
+    let (batch, batch_wall_ms) = time_best_of(1, || {
+        batch_pool
+            .execute_batch(&compiled, &inputs)
+            .expect("batch executes")
+    });
+    for (b, single) in batch.outputs.iter().zip(&singles) {
+        assert_eq!(b, single, "batched element diverged from serial execution");
+    }
+    let batch_throughput = inputs.len() as f64 / (batch_wall_ms / 1e3);
+    let best_serial_throughput = thread_rows
+        .iter()
+        .map(|r| r.inferences_per_sec)
+        .fold(1e3 / serial_ms, f64::max);
+    let batch_rows = vec![ServeBatchRow {
+        batch: inputs.len(),
+        threads: batch_threads,
+        wall_ms: batch_wall_ms,
+        inferences_per_sec: batch_throughput,
+        speedup_vs_warm_serial: batch_throughput / (1e3 / serial_ms),
+        speedup_vs_best_serial: batch_throughput / best_serial_throughput,
+    }];
+
+    ServeBenchReport {
+        bench: "serve".to_string(),
+        quick,
+        network: network.name().to_string(),
+        threads,
+        cold_ms,
+        cold_plan_ms: cold.plan_seconds * 1e3,
+        compile_ms,
+        first_request_ms,
+        warm_ms,
+        warm_plan_ms,
+        speedup_warm_vs_cold: cold_ms / warm_ms,
+        warm_inferences_per_sec: 1e3 / warm_ms,
+        busy_pe_cycles: warm.total_busy_pe_cycles(),
+        warm_cycles_per_sec: warm.total_busy_pe_cycles() as f64 / (warm_ms / 1e3),
+        bit_identical: true,
+        thread_rows,
+        batch_rows,
     }
 }
 

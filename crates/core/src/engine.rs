@@ -1,0 +1,958 @@
+//! The compile-once, run-many inference engine.
+//!
+//! GANAX's premise is that the expensive part of serving a generator — the
+//! Figure 5 phase decomposition and the operand layout for the MIMD-SIMD
+//! array — is done **once per layer shape** and reused for every inference.
+//! This module is that split, made explicit:
+//!
+//! * [`CompiledNetwork`] validates a network's weights once and hoists every
+//!   layer's plan (row taps, phase chunks, reordered/flipped weight rows, the
+//!   phase-major dispatch order) into an immutable, `Arc`-shared artifact;
+//! * [`InferenceEngine`] owns a **persistent worker pool**: long-lived
+//!   threads fed through a shard queue, each owning one worker PE that is
+//!   [reset in place](ganax_sim::ProcessingEngine::reset) between dispatch
+//!   batches, plus recycled operand/output buffers — so the serving steady
+//!   state performs no planning and no allocation churn;
+//! * [`InferenceEngine::execute_batch`] shards *batch × phase-major output
+//!   rows* across the pool and amortizes gathered weight streams across every
+//!   resident row of every batch element.
+//!
+//! All three paths are **bit-identical** to the per-layer fast path of
+//! [`GanaxMachine::execute_layer_threaded`] (and therefore to the seed
+//! single-step reference) at every thread count: the engine issues exactly
+//! the same per-dispatch programs, it only reorders *which* dispatch runs
+//! when and keeps more operands resident between dispatches.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax::{CompiledNetwork, GanaxMachine, InferenceEngine, NetworkWeights};
+//! use ganax_models::{Activation, NetworkBuilder};
+//! use ganax_tensor::{ConvParams, Shape, Tensor};
+//!
+//! let net = NetworkBuilder::new("toy", Shape::new_2d(1, 4, 4))
+//!     .tconv("up", 1, ConvParams::transposed_2d(5, 2, 2), Activation::Relu)
+//!     .build()
+//!     .unwrap();
+//! let weights =
+//!     NetworkWeights::new(&net, vec![Tensor::filled_filter(1, 1, 1, 5, 5, 0.5)]).unwrap();
+//! let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+//! let compiled = engine.compile(&net, &weights).unwrap();
+//!
+//! // Compile once, run many: every request reuses the cached plans.
+//! let input = Tensor::filled(net.input_shape(), 1.0);
+//! let a = engine.execute(&compiled, &input).unwrap();
+//! let b = engine.execute(&compiled, &input).unwrap();
+//! assert_eq!(a.output, b.output);
+//! assert_eq!(a.plan_seconds, 0.0, "warm runs never plan");
+//!
+//! // Batched execution is bit-identical to one-at-a-time execution.
+//! let batch = engine.execute_batch(&compiled, &[input.clone(), input]).unwrap();
+//! assert_eq!(batch.outputs[0], a.output);
+//! assert_eq!(batch.outputs[1], a.output);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ganax_energy::{EnergyBreakdown, EnergyModel, EventCounts};
+use ganax_isa::ExecUop;
+use ganax_models::{Layer, LayerOp, Network};
+use ganax_sim::ProcessingEngine;
+use ganax_tensor::Tensor;
+
+use crate::machine::{
+    chunk_group_max, gather_chunk_input, load_chunk_weights, retire_chunk_group, GanaxMachine,
+    MachineError, PlannedLayer,
+};
+use crate::network::{
+    finish_layer_output, host_projection, LayerExecution, NetworkExecution, NetworkWeights,
+};
+
+/// One layer of a [`CompiledNetwork`]: a host-executed projection, or a
+/// PE-array layer with its hoisted plan shared read-only with the pool.
+enum CompiledLayer {
+    /// Fully-connected projection, executed on the host.
+    Host,
+    /// Conv/tconv layer executed on the PE array from a cached plan.
+    Machine {
+        /// The layer description, shared with worker threads.
+        layer: Arc<Layer>,
+        /// The hoisted plan (taps, chunks, reordered/flipped weight rows).
+        plan: Arc<PlannedLayer>,
+    },
+}
+
+/// A network compiled for repeated execution: weights validated once, every
+/// PE-array layer's [`plan`](GanaxMachine) hoisted into an immutable artifact
+/// that [`InferenceEngine`] runs without any per-request planning.
+pub struct CompiledNetwork {
+    network: Network,
+    weights: NetworkWeights,
+    layers: Vec<CompiledLayer>,
+    machine: GanaxMachine,
+    plan_seconds: f64,
+}
+
+impl CompiledNetwork {
+    /// Validates the network/weight bundle and builds every PE-array layer's
+    /// plan for `machine`'s configuration.
+    ///
+    /// # Errors
+    /// Returns [`MachineError::ShapeMismatch`] when the weight bundle does
+    /// not match the network, [`MachineError::Unsupported`] for layers the
+    /// cycle-level machine cannot execute, and [`MachineError::Config`] when
+    /// the machine's configuration fails validation.
+    pub fn compile(
+        machine: &GanaxMachine,
+        network: &Network,
+        weights: &NetworkWeights,
+    ) -> Result<Self, MachineError> {
+        let start = Instant::now();
+        let net_layers = network.layers();
+        if weights.len() != net_layers.len() {
+            return Err(MachineError::ShapeMismatch {
+                detail: format!(
+                    "{} weight tensors for {} layers",
+                    weights.len(),
+                    net_layers.len()
+                ),
+            });
+        }
+        let mut layers = Vec::with_capacity(net_layers.len());
+        for (i, layer) in net_layers.iter().enumerate() {
+            let weight = weights.weight(i);
+            let expected = NetworkWeights::expected_shape(layer);
+            if weight.shape() != expected {
+                return Err(MachineError::ShapeMismatch {
+                    detail: format!(
+                        "layer `{}` weights {} != expected {}",
+                        layer.name,
+                        weight.shape(),
+                        expected
+                    ),
+                });
+            }
+            if matches!(layer.op, LayerOp::Projection) {
+                layers.push(CompiledLayer::Host);
+            } else {
+                let planned = machine.plan_layer(layer, weight)?;
+                layers.push(CompiledLayer::Machine {
+                    layer: Arc::new(layer.clone()),
+                    plan: Arc::new(planned),
+                });
+            }
+        }
+        Ok(CompiledNetwork {
+            network: network.clone(),
+            weights: weights.clone(),
+            layers,
+            machine: *machine,
+            plan_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The network this artifact was compiled from.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The validated weight bundle baked into the artifact.
+    pub fn weights(&self) -> &NetworkWeights {
+        &self.weights
+    }
+
+    /// The machine configuration the plans were built for.
+    pub fn machine(&self) -> &GanaxMachine {
+        &self.machine
+    }
+
+    /// Wall-clock seconds spent validating and planning at compile time.
+    pub fn plan_seconds(&self) -> f64 {
+        self.plan_seconds
+    }
+
+    /// Number of layers that execute on the PE array (the rest are host
+    /// projections).
+    pub fn machine_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, CompiledLayer::Machine { .. }))
+            .count()
+    }
+}
+
+/// The report of one [`InferenceEngine::execute_batch`] call: per-element
+/// outputs plus activity aggregated over the whole batch.
+#[derive(Debug, Clone)]
+pub struct BatchExecution {
+    /// Network name.
+    pub network: String,
+    /// Worker threads in the engine's pool.
+    pub threads: usize,
+    /// Final outputs, one per batch element, in input order (bias and
+    /// activation applied; bit-identical to executing each element alone).
+    pub outputs: Vec<Tensor>,
+    /// Busy PE cycles summed over every element and layer.
+    pub busy_pe_cycles: u64,
+    /// Activity counters summed over every element and layer.
+    pub counts: EventCounts,
+    /// Work units summed over every element and layer.
+    pub work_units: u64,
+    /// Total wall-clock seconds for the batch.
+    pub wall_seconds: f64,
+}
+
+impl BatchExecution {
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Completed inferences per wall-clock second — the serving throughput.
+    pub fn inferences_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.outputs.len() as f64 / self.wall_seconds
+    }
+
+    /// Energy of the batch's simulated activity under a Table II model.
+    pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
+        model.energy(&self.counts)
+    }
+}
+
+/// A unit of PE-array work handed to the pool: one shard of output rows of
+/// one layer, executed for every inference in the batch.
+struct ShardTask {
+    /// Index of this task within its dispatch wave.
+    task_id: usize,
+    /// The layer being executed.
+    layer: Arc<Layer>,
+    /// The layer's cached plan.
+    plan: Arc<PlannedLayer>,
+    /// Current input feature maps, one per batch element.
+    inputs: Arc<Vec<Arc<Tensor>>>,
+    /// Output rows (`oy` values) this shard owns, ascending.
+    rows: Vec<usize>,
+    /// Where the worker reports the shard result.
+    reply: Sender<TaskReply>,
+}
+
+/// What a worker hands back for one [`ShardTask`].
+struct TaskReply {
+    task_id: usize,
+    result: Result<ShardOutput, MachineError>,
+}
+
+/// A completed shard: accumulated output rows plus the worker PE's activity.
+struct ShardOutput {
+    /// Accumulated rows, laid out `[element][row slot][channel][column]`.
+    buffer: Vec<f32>,
+    busy_pe_cycles: u64,
+    counts: EventCounts,
+    work_units: u64,
+}
+
+/// The queue state shared between the engine and its workers.
+#[derive(Default)]
+struct PoolState {
+    tasks: VecDeque<ShardTask>,
+    shutdown: bool,
+}
+
+/// Everything the pool shares: the task queue, its wakeup, and the recycled
+/// shard-output buffers that keep the steady state allocation-free.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    buffers: Mutex<Vec<Vec<f32>>>,
+}
+
+impl PoolShared {
+    fn recycle(&self, buffer: Vec<f32>) {
+        self.buffers.lock().expect("buffer pool lock").push(buffer);
+    }
+}
+
+/// The long-lived body of one pool worker: pop shard tasks until shutdown,
+/// keeping one [`ProcessingEngine`] resident and resetting it in place
+/// between tasks instead of reconstructing it.
+fn worker_loop(shared: Arc<PoolShared>) {
+    let mut resident: Option<ProcessingEngine> = None;
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(task) = state.tasks.pop_front() {
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.available.wait(state).expect("pool lock");
+            }
+        };
+        let Some(task) = task else { return };
+        let config = task.plan.pe_config;
+        let pe = match resident.as_mut() {
+            Some(pe) if pe.config() == config => {
+                pe.reset();
+                pe
+            }
+            _ => resident.insert(ProcessingEngine::new(config)),
+        };
+        let mut buffer = shared
+            .buffers
+            .lock()
+            .expect("buffer pool lock")
+            .pop()
+            .unwrap_or_default();
+        let result = match run_resident_shard(&task, pe, &mut buffer) {
+            Ok((busy_pe_cycles, counts, work_units)) => Ok(ShardOutput {
+                buffer,
+                busy_pe_cycles,
+                counts,
+                work_units,
+            }),
+            Err(error) => {
+                shared.recycle(buffer);
+                Err(error)
+            }
+        };
+        let _ = task.reply.send(TaskReply {
+            task_id: task.task_id,
+            result,
+        });
+    }
+}
+
+/// Executes one shard — `task.rows` output rows × every batch element — on a
+/// resident worker PE, accumulating into `buffer` (layout
+/// `[element][row slot][channel][column]`, zeroed here in place).
+///
+/// The loop nests `ky → ci → chunk → row block → channel group → row` so a
+/// gathered weight stream, staged once per `(chunk, group)`, serves every
+/// resident row of every batch element, and a whole block of gathered input
+/// streams stays resident in the input scratchpad across all channel groups
+/// (each dispatch selects its stream through the input generator's offset
+/// register). Per dispatch this issues exactly the per-layer fast path's
+/// program — same generators, same µop pairs, same burst — so busy cycles,
+/// counters and the f32 accumulation order per output element are
+/// bit-identical to [`GanaxMachine::execute_layer_threaded`]; only the number
+/// of bulk scratchpad loads shrinks, and those are excluded from the counts
+/// on both paths.
+fn run_resident_shard(
+    task: &ShardTask,
+    pe: &mut ProcessingEngine,
+    buffer: &mut Vec<f32>,
+) -> Result<(u64, EventCounts, u64), MachineError> {
+    let layer = &*task.layer;
+    let plan = &task.plan.plan;
+    let pe_config = &task.plan.pe_config;
+    let elements = task.inputs.len();
+    let rows = &task.rows;
+    let co_count = layer.output.channels;
+    let ci_count = layer.input.channels;
+    let width = layer.output.width;
+    let row_stride = co_count * width;
+    buffer.clear();
+    buffer.resize(elements * rows.len() * row_stride, 0.0);
+
+    let max_pairs = pe_config.uop_fifo_entries / 2;
+    let uop_buf: Vec<ExecUop> = [ExecUop::Repeat, ExecUop::Mac].repeat(max_pairs);
+    let mut load_words = 0u64;
+    let mut work_units = 0u64;
+    // `(element, row slot, input row)` instances whose row reads vertical tap
+    // `ky` — rebuilt per tap, reusing the allocation.
+    let mut instances: Vec<(usize, usize, usize)> = Vec::new();
+
+    for ky in 0..plan.kernel_h {
+        instances.clear();
+        for e in 0..elements {
+            for (slot, &oy) in rows.iter().enumerate() {
+                if let Some(&(_, iy)) = plan.row_taps[oy].iter().find(|&&(tap, _)| tap == ky) {
+                    instances.push((e, slot, iy));
+                }
+            }
+        }
+        if instances.is_empty() {
+            continue;
+        }
+        for ci in 0..ci_count {
+            work_units += instances.len() as u64 * co_count as u64;
+            for chunk in &plan.chunks {
+                let stream = chunk.taps * chunk.cols;
+                // A block is bounded by the input scratchpad *and* by u16
+                // generator addressing: every resident stream's window
+                // (`input_base + stream`) must stay below 2^16, or the
+                // offset register would silently wrap into another slot's
+                // stream on configs with very large input scratchpads.
+                let block_cap = (pe_config.input_words / stream)
+                    .min((u16::MAX as usize + 1) / stream)
+                    .max(1);
+                for block in instances.chunks(block_cap) {
+                    pe.load_input_with(block.len() * stream, |buf| {
+                        for (b, &(e, _slot, iy)) in block.iter().enumerate() {
+                            let input_row = task.inputs[e].row_2d(ci, iy);
+                            gather_chunk_input(
+                                plan,
+                                chunk,
+                                input_row,
+                                &mut buf[b * stream..(b + 1) * stream],
+                            );
+                        }
+                    });
+                    load_words += (block.len() * stream) as u64;
+
+                    let group_max = chunk_group_max(pe_config, chunk, stream);
+                    let mut co0 = 0;
+                    while co0 < co_count {
+                        let group = group_max.min(co_count - co0);
+                        load_words +=
+                            load_chunk_weights(pe, plan, chunk, stream, group, co0, ci, ky);
+                        for (b, &(e, slot, _iy)) in block.iter().enumerate() {
+                            let base = (e * rows.len() + slot) * row_stride;
+                            retire_chunk_group(
+                                pe,
+                                chunk,
+                                stream,
+                                group,
+                                b * stream,
+                                &uop_buf,
+                                layer,
+                                |k, slots| {
+                                    let row = &mut buffer[base + (co0 + k) * width..][..width];
+                                    let mut ox = chunk.ox_start;
+                                    for &value in slots {
+                                        row[ox] += value;
+                                        ox += chunk.col_step;
+                                    }
+                                },
+                            )?;
+                        }
+                        co0 += group;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut counts = pe.counts();
+    counts.register_file_writes -= load_words;
+    Ok((pe.busy_cycles(), counts, work_units))
+}
+
+/// The compile-once, run-many inference engine: a persistent worker pool plus
+/// the machine configuration requests are executed under.
+///
+/// See the [module docs](self) for the serving model and the bit-identity
+/// guarantees. Dropping the engine shuts the pool down and joins every
+/// worker.
+pub struct InferenceEngine {
+    machine: GanaxMachine,
+    threads: usize,
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl InferenceEngine {
+    /// Spawns an engine with `threads` long-lived pool workers (at least 1).
+    pub fn new(machine: GanaxMachine, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            available: Condvar::new(),
+            buffers: Mutex::new(Vec::new()),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        InferenceEngine {
+            machine,
+            threads,
+            shared,
+            handles,
+        }
+    }
+
+    /// Spawns an engine sized from [`std::thread::available_parallelism`].
+    pub fn with_available_parallelism(machine: GanaxMachine) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(machine, threads)
+    }
+
+    /// Pool workers owned by the engine.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The machine configuration requests execute under.
+    pub fn machine(&self) -> &GanaxMachine {
+        &self.machine
+    }
+
+    /// Compiles a network for this engine's configuration — sugar for
+    /// [`CompiledNetwork::compile`].
+    ///
+    /// # Errors
+    /// As [`CompiledNetwork::compile`].
+    pub fn compile(
+        &self,
+        network: &Network,
+        weights: &NetworkWeights,
+    ) -> Result<CompiledNetwork, MachineError> {
+        CompiledNetwork::compile(&self.machine, network, weights)
+    }
+
+    /// Checks an artifact was compiled for this engine's configuration.
+    fn check_compiled(&self, compiled: &CompiledNetwork) -> Result<(), MachineError> {
+        if compiled.machine != self.machine {
+            return Err(MachineError::Unsupported {
+                detail: "network was compiled for a different machine configuration".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes one inference from a compiled artifact — the warm serving
+    /// path: no planning, no worker spawning, PEs and buffers reused in
+    /// place. Bit-identical to [`GanaxMachine::execute_network`] on the same
+    /// inputs (which itself compiles and then calls this).
+    ///
+    /// # Errors
+    /// Returns [`MachineError::ShapeMismatch`] when the input does not match
+    /// the network, [`MachineError::Unsupported`] when the artifact was
+    /// compiled for a different configuration, and propagates worker errors.
+    pub fn execute(
+        &self,
+        compiled: &CompiledNetwork,
+        input: &Tensor,
+    ) -> Result<NetworkExecution, MachineError> {
+        self.check_compiled(compiled)?;
+        if input.shape() != compiled.network.input_shape() {
+            return Err(MachineError::ShapeMismatch {
+                detail: format!(
+                    "input {} != network input {}",
+                    input.shape(),
+                    compiled.network.input_shape()
+                ),
+            });
+        }
+        let start = Instant::now();
+        let mut reports = Vec::with_capacity(compiled.layers.len());
+        let mut current = Arc::new(input.clone());
+        for (i, layer) in compiled.network.layers().iter().enumerate() {
+            let layer_start = Instant::now();
+            match &compiled.layers[i] {
+                CompiledLayer::Host => {
+                    let mut out = host_projection(layer, &current, compiled.weights.weight(i))?;
+                    finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                    current = Arc::new(out);
+                    reports.push(LayerExecution {
+                        name: layer.name.clone(),
+                        is_tconv: false,
+                        host: true,
+                        busy_pe_cycles: 0,
+                        work_units: 0,
+                        counts: EventCounts::default(),
+                        balance: 1.0,
+                        wall_seconds: layer_start.elapsed().as_secs_f64(),
+                    });
+                }
+                CompiledLayer::Machine {
+                    layer: shared,
+                    plan,
+                } => {
+                    let inputs = Arc::new(vec![Arc::clone(&current)]);
+                    let run = self.run_layer(shared, plan, inputs)?;
+                    let mut outputs = run.outputs;
+                    let mut out = outputs.pop().expect("single-element batch");
+                    let max_shard = run.shard_busy.iter().copied().max().unwrap_or(0);
+                    let balance = if max_shard == 0 {
+                        1.0
+                    } else {
+                        run.busy_pe_cycles as f64 / (run.shard_busy.len() as u64 * max_shard) as f64
+                    };
+                    finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                    current = Arc::new(out);
+                    reports.push(LayerExecution {
+                        name: layer.name.clone(),
+                        is_tconv: layer.is_tconv(),
+                        host: false,
+                        busy_pe_cycles: run.busy_pe_cycles,
+                        work_units: run.work_units,
+                        counts: run.counts,
+                        balance,
+                        wall_seconds: layer_start.elapsed().as_secs_f64(),
+                    });
+                }
+            }
+        }
+        Ok(NetworkExecution {
+            network: compiled.network.name().to_string(),
+            threads: self.threads,
+            layers: reports,
+            output: Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone()),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            // True by construction: `CompiledLayer::Machine` always carries
+            // its plan, so this path contains no planning code. CONTRACT for
+            // future changes: any replan-on-miss path added here MUST add
+            // its measured time to this field — `bench_serve`, the CI
+            // serve-bench job and `tests/serve.rs` gate on it staying zero
+            // for warm requests.
+            plan_seconds: 0.0,
+        })
+    }
+
+    /// Executes a whole batch of inferences from a compiled artifact,
+    /// sharding *batch × phase-major output rows* across the pool. Every
+    /// element's output is bit-identical to running it alone through
+    /// [`InferenceEngine::execute`] (at any thread count), and the aggregate
+    /// activity equals the sum of the per-element runs.
+    ///
+    /// # Errors
+    /// As [`InferenceEngine::execute`]; additionally rejects an empty batch.
+    pub fn execute_batch(
+        &self,
+        compiled: &CompiledNetwork,
+        inputs: &[Tensor],
+    ) -> Result<BatchExecution, MachineError> {
+        self.check_compiled(compiled)?;
+        if inputs.is_empty() {
+            return Err(MachineError::ShapeMismatch {
+                detail: "empty inference batch".into(),
+            });
+        }
+        for input in inputs {
+            if input.shape() != compiled.network.input_shape() {
+                return Err(MachineError::ShapeMismatch {
+                    detail: format!(
+                        "input {} != network input {}",
+                        input.shape(),
+                        compiled.network.input_shape()
+                    ),
+                });
+            }
+        }
+        let start = Instant::now();
+        let mut currents: Vec<Arc<Tensor>> = inputs.iter().map(|t| Arc::new(t.clone())).collect();
+        let mut busy_pe_cycles = 0u64;
+        let mut counts = EventCounts::default();
+        let mut work_units = 0u64;
+        for (i, layer) in compiled.network.layers().iter().enumerate() {
+            match &compiled.layers[i] {
+                CompiledLayer::Host => {
+                    for current in currents.iter_mut() {
+                        let mut out = host_projection(layer, current, compiled.weights.weight(i))?;
+                        finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                        *current = Arc::new(out);
+                    }
+                }
+                CompiledLayer::Machine {
+                    layer: shared,
+                    plan,
+                } => {
+                    let layer_inputs = Arc::new(currents.clone());
+                    let run = self.run_layer(shared, plan, layer_inputs)?;
+                    for (current, mut out) in currents.iter_mut().zip(run.outputs) {
+                        finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                        *current = Arc::new(out);
+                    }
+                    busy_pe_cycles += run.busy_pe_cycles;
+                    counts += run.counts;
+                    work_units += run.work_units;
+                }
+            }
+        }
+        Ok(BatchExecution {
+            network: compiled.network.name().to_string(),
+            threads: self.threads,
+            outputs: currents
+                .into_iter()
+                .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()))
+                .collect(),
+            busy_pe_cycles,
+            counts,
+            work_units,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Runs one PE-array layer for every element of `inputs` through the
+    /// pool: rows are round-robined over the plan's phase-major order into
+    /// `threads` shards (exactly the per-layer fast path's assignment, so
+    /// per-shard busy splits match it), each shard task covers all batch
+    /// elements, and results reduce in task-index order.
+    fn run_layer(
+        &self,
+        layer: &Arc<Layer>,
+        plan: &Arc<PlannedLayer>,
+        inputs: Arc<Vec<Arc<Tensor>>>,
+    ) -> Result<LayerRun, MachineError> {
+        for input in inputs.iter() {
+            if input.shape() != layer.input {
+                return Err(MachineError::ShapeMismatch {
+                    detail: format!("input {} != layer input {}", input.shape(), layer.input),
+                });
+            }
+        }
+        let height = layer.output.height;
+        let width = layer.output.width;
+        let co_count = layer.output.channels;
+        let shards = self.threads.clamp(1, height.max(1));
+        // Round-robin over the phase-major row order (see
+        // `GanaxMachine::execute_planned`): every shard receives the same mix
+        // of shallow- and deep-phase rows.
+        let mut position = vec![0usize; height];
+        for (pos, &oy) in plan.plan.row_order.iter().enumerate() {
+            position[oy] = pos;
+        }
+        let mut shard_rows: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        for oy in 0..height {
+            shard_rows[position[oy] % shards].push(oy);
+        }
+
+        let (reply_tx, reply_rx) = channel();
+        let meta: Vec<Vec<usize>> = shard_rows.clone();
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            for (task_id, rows) in shard_rows.into_iter().enumerate() {
+                state.tasks.push_back(ShardTask {
+                    task_id,
+                    layer: Arc::clone(layer),
+                    plan: Arc::clone(plan),
+                    inputs: Arc::clone(&inputs),
+                    rows,
+                    reply: reply_tx.clone(),
+                });
+            }
+        }
+        self.shared.available.notify_all();
+        drop(reply_tx);
+
+        let elements = inputs.len();
+        let mut replies: Vec<Option<Result<ShardOutput, MachineError>>> =
+            (0..meta.len()).map(|_| None).collect();
+        let mut received = 0;
+        while received < meta.len() {
+            match reply_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(reply) => {
+                    replies[reply.task_id] = Some(reply.result);
+                    received += 1;
+                }
+                // Queued tasks hold reply-sender clones, so the channel never
+                // disconnects while tasks sit unpopped — if every worker has
+                // died (a panic mid-task), waiting any longer would hang
+                // forever. Bail out; the `None` replies below turn into an
+                // error.
+                Err(RecvTimeoutError::Timeout) => {
+                    if self
+                        .handles
+                        .iter()
+                        .all(std::thread::JoinHandle::is_finished)
+                    {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let mut outputs: Vec<Tensor> = (0..elements).map(|_| Tensor::zeros(layer.output)).collect();
+        let row_stride = co_count * width;
+        let mut busy_pe_cycles = 0u64;
+        let mut counts = EventCounts::default();
+        let mut work_units = 0u64;
+        let mut shard_busy = Vec::with_capacity(meta.len());
+        for (task_id, reply) in replies.into_iter().enumerate() {
+            let shard = reply.ok_or_else(|| MachineError::Unsupported {
+                detail: "a pool worker terminated without reporting its shard".into(),
+            })??;
+            let rows = &meta[task_id];
+            for (e, output) in outputs.iter_mut().enumerate() {
+                let data = output.data_mut();
+                for (slot, &oy) in rows.iter().enumerate() {
+                    let src = (e * rows.len() + slot) * row_stride;
+                    for co in 0..co_count {
+                        let dst = (co * height + oy) * width;
+                        data[dst..dst + width]
+                            .copy_from_slice(&shard.buffer[src + co * width..][..width]);
+                    }
+                }
+            }
+            busy_pe_cycles += shard.busy_pe_cycles;
+            counts += shard.counts;
+            work_units += shard.work_units;
+            shard_busy.push(shard.busy_pe_cycles);
+            self.shared.recycle(shard.buffer);
+        }
+        // Horizontal accumulation of each node's partial sums into the output
+        // row — charged once per layer, as `execute_planned` does.
+        counts.inter_pe_transfers += work_units * width as u64;
+        Ok(LayerRun {
+            outputs,
+            busy_pe_cycles,
+            counts,
+            work_units,
+            shard_busy,
+        })
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The pooled execution of one layer across a batch.
+struct LayerRun {
+    outputs: Vec<Tensor>,
+    busy_pe_cycles: u64,
+    counts: EventCounts,
+    work_units: u64,
+    shard_busy: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganax_models::{Activation, NetworkBuilder};
+    use ganax_tensor::{ConvParams, Shape};
+
+    fn toy_network() -> Network {
+        NetworkBuilder::new("toy-generator", Shape::new_2d(8, 1, 1))
+            .projection("project", Shape::new_2d(4, 4, 4), Activation::Relu)
+            .tconv(
+                "up1",
+                3,
+                ConvParams::transposed_2d(4, 2, 1),
+                Activation::Relu,
+            )
+            .conv("smooth", 2, ConvParams::conv_2d(3, 1, 1), Activation::Tanh)
+            .build()
+            .unwrap()
+    }
+
+    fn toy_weights(network: &Network, seed: u64) -> NetworkWeights {
+        let tensors = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Tensor::deterministic(NetworkWeights::expected_shape(l), seed + i as u64))
+            .collect();
+        NetworkWeights::new(network, tensors).unwrap()
+    }
+
+    #[test]
+    fn compiled_network_is_reused_without_replanning() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 7);
+        let engine = InferenceEngine::new(GanaxMachine::paper(), 3);
+        let compiled = engine.compile(&net, &weights).unwrap();
+        assert!(compiled.plan_seconds() > 0.0);
+        assert_eq!(compiled.machine_layer_count(), 2);
+        let input = Tensor::deterministic(net.input_shape(), 13);
+        let first = engine.execute(&compiled, &input).unwrap();
+        let second = engine.execute(&compiled, &input).unwrap();
+        assert_eq!(first.output, second.output);
+        assert_eq!(first.plan_seconds, 0.0);
+        assert_eq!(second.plan_seconds, 0.0);
+        assert_eq!(first.total_counts(), second.total_counts());
+    }
+
+    #[test]
+    fn engine_matches_the_per_layer_fast_path() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 19);
+        let input = Tensor::deterministic(net.input_shape(), 23);
+        let machine = GanaxMachine::paper();
+        let staged = machine
+            .execute_network_staged(&net, &input, &weights, 2)
+            .unwrap();
+        for threads in [1, 2, 5] {
+            let engine = InferenceEngine::new(machine, threads);
+            let compiled = engine.compile(&net, &weights).unwrap();
+            let run = engine.execute(&compiled, &input).unwrap();
+            assert_eq!(run.output, staged.output, "{threads}-thread engine output");
+            assert_eq!(
+                run.total_counts(),
+                staged.total_counts(),
+                "{threads}-thread engine counts"
+            );
+            assert_eq!(run.total_busy_pe_cycles(), staged.total_busy_pe_cycles());
+            assert_eq!(run.total_work_units(), staged.total_work_units());
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 31);
+        let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+        let compiled = engine.compile(&net, &weights).unwrap();
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|k| Tensor::deterministic(net.input_shape(), 41 + k))
+            .collect();
+        let batch = engine.execute_batch(&compiled, &inputs).unwrap();
+        assert_eq!(batch.batch_size(), 3);
+        let mut busy = 0u64;
+        let mut counts = EventCounts::default();
+        for (input, output) in inputs.iter().zip(&batch.outputs) {
+            let single = engine.execute(&compiled, input).unwrap();
+            assert_eq!(&single.output, output, "batch element diverged");
+            busy += single.total_busy_pe_cycles();
+            counts += single.total_counts();
+        }
+        assert_eq!(batch.busy_pe_cycles, busy, "aggregate busy cycles");
+        assert_eq!(batch.counts, counts, "aggregate counters");
+        assert!(batch.inferences_per_second() > 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_artifacts_and_inputs() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 53);
+        let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+        let compiled = engine.compile(&net, &weights).unwrap();
+        // Wrong input shape.
+        let bad = Tensor::zeros(Shape::new_2d(2, 1, 1));
+        assert!(matches!(
+            engine.execute(&compiled, &bad),
+            Err(MachineError::ShapeMismatch { .. })
+        ));
+        // Empty batch.
+        assert!(matches!(
+            engine.execute_batch(&compiled, &[]),
+            Err(MachineError::ShapeMismatch { .. })
+        ));
+        // Artifact compiled for a different machine configuration.
+        let other = GanaxMachine::new(
+            crate::GanaxConfig::paper()
+                .with_frequency_hz(250_000_000.0)
+                .unwrap(),
+        );
+        let other_engine = InferenceEngine::new(other, 1);
+        assert!(matches!(
+            other_engine.execute(&compiled, &Tensor::zeros(net.input_shape())),
+            Err(MachineError::Unsupported { .. })
+        ));
+    }
+}

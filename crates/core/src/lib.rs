@@ -13,6 +13,11 @@
 //!   [`GanaxMachine::execute_network`] returns a [`NetworkExecution`] report
 //!   with per-layer cycles, counters and wall-clock, cross-checkable against
 //!   the analytic models.
+//! * [`engine`](InferenceEngine) is the compile-once, run-many serving path:
+//!   [`CompiledNetwork`] hoists every layer's plan into an immutable
+//!   artifact, and [`InferenceEngine`] runs it (single requests or whole
+//!   batches) on a persistent worker pool whose PEs and buffers are reset in
+//!   place between inferences.
 //! * [`perf`](GanaxModel) is the layer-level performance and energy model that
 //!   evaluates full GAN workloads (the counterpart of
 //!   [`EyerissModel`](ganax_eyeriss::EyerissModel)).
@@ -49,6 +54,7 @@
 pub mod compare;
 mod compiler;
 mod config;
+pub mod engine;
 mod machine;
 pub mod network;
 mod perf;
@@ -56,6 +62,7 @@ pub mod sweep;
 
 pub use compiler::GanaxCompiler;
 pub use config::{ConfigError, GanaxConfig};
+pub use engine::{BatchExecution, CompiledNetwork, InferenceEngine};
 pub use machine::{GanaxMachine, MachineError, MachineRun};
 pub use network::{LayerExecution, NetworkExecution, NetworkWeights};
 pub use perf::{AblationVariant, GanaxModel, LayerCrossCheck};

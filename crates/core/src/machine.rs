@@ -117,15 +117,15 @@ pub struct GanaxMachine {
 
 /// Per-output-column addressing of one consequential compute node.
 #[derive(Debug, Clone, Copy)]
-struct ColumnRun {
+pub(crate) struct ColumnRun {
     /// First input column of the run.
-    input_start: usize,
+    pub(crate) input_start: usize,
     /// First kernel column of the run.
-    kernel_start: usize,
+    pub(crate) kernel_start: usize,
     /// Kernel-column stride between consecutive taps.
-    kernel_step: usize,
+    pub(crate) kernel_step: usize,
     /// Number of consequential taps.
-    taps: usize,
+    pub(crate) taps: usize,
 }
 
 /// A run of same-phase consequential output columns sharing a tap count,
@@ -138,18 +138,18 @@ struct ColumnRun {
 /// taps, so grouping by residue yields long equal-repeat runs where grouping
 /// consecutive columns would alternate tap counts every column.
 #[derive(Debug, Clone)]
-struct ColumnChunk {
+pub(crate) struct ColumnChunk {
     /// First output column of the chunk.
-    ox_start: usize,
+    pub(crate) ox_start: usize,
     /// Distance between consecutive chunk columns (the phase stride).
-    col_step: usize,
+    pub(crate) col_step: usize,
     /// Columns in the chunk.
-    cols: usize,
+    pub(crate) cols: usize,
     /// Consequential taps of every column in the chunk.
-    taps: usize,
+    pub(crate) taps: usize,
     /// Per stream element, the weight-row offset it gathers (`cols × taps`
     /// entries; offsets are bounded by the kernel width).
-    weight_offsets: Vec<u16>,
+    pub(crate) weight_offsets: Vec<u16>,
 }
 
 /// Everything about a layer that the seed implementation recomputed per work
@@ -159,24 +159,24 @@ struct ColumnChunk {
 /// for transposed convolutions). Shared read-only by every worker PE.
 pub(crate) struct LayerPlan {
     /// Per output row: the consequential `(ky, iy)` vertical taps.
-    row_taps: Vec<Vec<(usize, usize)>>,
+    pub(crate) row_taps: Vec<Vec<(usize, usize)>>,
     /// Output rows in dispatch order: phase-major (from the Figure 5
     /// output-row reorganization) for transposed convolutions, natural order
     /// otherwise. Sharding round-robins over this order so every worker gets
     /// the same mix of shallow- and deep-phase rows.
-    row_order: Vec<usize>,
+    pub(crate) row_order: Vec<usize>,
     /// Per output column: the consequential column run, if any.
-    column_runs: Vec<Option<ColumnRun>>,
+    pub(crate) column_runs: Vec<Option<ColumnRun>>,
     /// Consequential columns grouped into dispatchable chunks.
-    chunks: Vec<ColumnChunk>,
+    pub(crate) chunks: Vec<ColumnChunk>,
     /// Weight rows in `[(co * input_channels + ci) * kernel_h + ky]` order.
-    weight_rows: Vec<f32>,
+    pub(crate) weight_rows: Vec<f32>,
     /// Kernel width (length of one weight row).
-    kernel_w: usize,
+    pub(crate) kernel_w: usize,
     /// Kernel height (rows per `(co, ci)` filter plane).
-    kernel_h: usize,
+    pub(crate) kernel_h: usize,
     /// Input channels (stride of the `co` index).
-    input_channels: usize,
+    pub(crate) input_channels: usize,
 }
 
 impl LayerPlan {
@@ -304,7 +304,7 @@ impl LayerPlan {
     }
 
     /// The pre-gathered weight row for one `(co, ci, ky)` work unit.
-    fn weight_row(&self, co: usize, ci: usize, ky: usize) -> &[f32] {
+    pub(crate) fn weight_row(&self, co: usize, ci: usize, ky: usize) -> &[f32] {
         let row = (co * self.input_channels + ci) * self.kernel_h + ky;
         &self.weight_rows[row * self.kernel_w..(row + 1) * self.kernel_w]
     }
@@ -315,9 +315,9 @@ impl LayerPlan {
 /// executor double-buffers across layers.
 pub(crate) struct PlannedLayer {
     /// The PE sizing that bounds the plan's chunks and streams.
-    pe_config: PeConfig,
+    pub(crate) pe_config: PeConfig,
     /// The hoisted per-layer plan.
-    plan: LayerPlan,
+    pub(crate) plan: LayerPlan,
 }
 
 /// Cycle budget of one per-column `mac` run: a stall-free run retires in
@@ -691,8 +691,8 @@ fn run_shard(
     shard: Vec<(usize, Vec<&mut [f32]>)>,
 ) -> Result<(u64, EventCounts, u64), MachineError> {
     let mut pe = ProcessingEngine::new(*pe_config);
-    let max_pairs = pe_config.uop_fifo_entries / 2;
-    let uop_buf: Vec<ExecUop> = [ExecUop::Repeat, ExecUop::Mac].repeat(max_pairs);
+    let uop_buf: Vec<ExecUop> =
+        [ExecUop::Repeat, ExecUop::Mac].repeat(pe_config.uop_fifo_entries / 2);
     let mut load_words = 0u64;
     let mut work_units = 0u64;
 
@@ -704,53 +704,33 @@ fn run_shard(
                 for chunk in &plan.chunks {
                     let stream = chunk.taps * chunk.cols;
                     pe.load_input_with(stream, |buf| {
-                        let mut i = 0;
-                        for c in 0..chunk.cols {
-                            let run = plan.column_runs[chunk.ox_start + c * chunk.col_step]
-                                .as_ref()
-                                .expect("chunks cover consequential columns");
-                            buf[i..i + chunk.taps].copy_from_slice(
-                                &input_row[run.input_start..run.input_start + chunk.taps],
-                            );
-                            i += chunk.taps;
-                        }
+                        gather_chunk_input(plan, chunk, input_row, buf);
                     });
                     load_words += stream as u64;
 
-                    let group_max = (max_pairs / chunk.cols)
-                        .min(pe_config.weight_words / stream)
-                        .min(pe_config.output_words / chunk.cols)
-                        .max(1);
+                    let group_max = chunk_group_max(pe_config, chunk, stream);
                     let mut co0 = 0;
                     while co0 < co_rows.len() {
                         let group = group_max.min(co_rows.len() - co0);
-                        pe.load_weights_with(group * stream, |buf| {
-                            for (k, dst) in buf.chunks_exact_mut(stream).enumerate() {
-                                let weight_row = plan.weight_row(co0 + k, ci, ky);
-                                for (value, &offset) in dst.iter_mut().zip(&chunk.weight_offsets) {
-                                    *value = weight_row[offset as usize];
+                        load_words +=
+                            load_chunk_weights(&mut pe, plan, chunk, stream, group, co0, ci, ky);
+                        retire_chunk_group(
+                            &mut pe,
+                            chunk,
+                            stream,
+                            group,
+                            0,
+                            &uop_buf,
+                            layer,
+                            |k, slots| {
+                                let row = &mut co_rows[co0 + k];
+                                let mut ox = chunk.ox_start;
+                                for &value in slots {
+                                    row[ox] += value;
+                                    ox += chunk.col_step;
                                 }
-                            }
-                        });
-                        load_words += (group * stream) as u64;
-
-                        dispatch_group(&mut pe, chunk, stream, group, &uop_buf, layer)?;
-                        pe.run_until_idle_burst(chunk_cycle_budget(chunk) * group as u64);
-                        if !pe.is_idle() {
-                            return Err(MachineError::Timeout {
-                                layer: layer.name.clone(),
-                            });
-                        }
-                        let produced = pe.output_contents();
-                        for k in 0..group {
-                            let row = &mut co_rows[co0 + k];
-                            let slots = &produced[k * chunk.cols..(k + 1) * chunk.cols];
-                            let mut ox = chunk.ox_start;
-                            for &value in slots {
-                                row[ox] += value;
-                                ox += chunk.col_step;
-                            }
-                        }
+                            },
+                        )?;
                         co0 += group;
                     }
                 }
@@ -763,15 +743,115 @@ fn run_shard(
     Ok((pe.busy_cycles(), counts, work_units))
 }
 
+/// The largest output-channel group one dispatch of `chunk` can carry: its
+/// µop pairs must fit the µop FIFO, its concatenated weight streams the
+/// weight scratchpad, and its output words the output scratchpad. Shared by
+/// the per-layer shard runner and the engine's resident-PE worker so the two
+/// paths can never disagree on dispatch shapes (their results are
+/// contractually bit-identical).
+pub(crate) fn chunk_group_max(pe_config: &PeConfig, chunk: &ColumnChunk, stream: usize) -> usize {
+    (pe_config.uop_fifo_entries / 2 / chunk.cols)
+        .min(pe_config.weight_words / stream)
+        .min(pe_config.output_words / chunk.cols)
+        .max(1)
+}
+
+/// Gathers one input row's operand stream for `chunk` into `dst`
+/// (`taps × cols` words, one contiguous column run after another).
+pub(crate) fn gather_chunk_input(
+    plan: &LayerPlan,
+    chunk: &ColumnChunk,
+    input_row: &[f32],
+    dst: &mut [f32],
+) {
+    let mut i = 0;
+    for c in 0..chunk.cols {
+        let run = plan.column_runs[chunk.ox_start + c * chunk.col_step]
+            .as_ref()
+            .expect("chunks cover consequential columns");
+        dst[i..i + chunk.taps]
+            .copy_from_slice(&input_row[run.input_start..run.input_start + chunk.taps]);
+        i += chunk.taps;
+    }
+}
+
+/// Stages the gathered weight streams of one `(chunk, ci, ky, channel
+/// group)` into the weight scratchpad, returning the words loaded (bulk
+/// loads are excluded from the reported counts by the callers).
+pub(crate) fn load_chunk_weights(
+    pe: &mut ProcessingEngine,
+    plan: &LayerPlan,
+    chunk: &ColumnChunk,
+    stream: usize,
+    group: usize,
+    co0: usize,
+    ci: usize,
+    ky: usize,
+) -> u64 {
+    pe.load_weights_with(group * stream, |buf| {
+        for (k, dst) in buf.chunks_exact_mut(stream).enumerate() {
+            let weight_row = plan.weight_row(co0 + k, ci, ky);
+            for (value, &offset) in dst.iter_mut().zip(&chunk.weight_offsets) {
+                *value = weight_row[offset as usize];
+            }
+        }
+    });
+    (group * stream) as u64
+}
+
+/// Dispatches one chunk × channel-group program against the input stream
+/// resident at `input_base`, retires it as one burst, and hands each
+/// channel's produced partial sums to `emit(k, slots)` (`k` indexes the
+/// channel within the group; `slots[c]` belongs to output column
+/// `ox_start + c * col_step`). The slice form lets callers scatter with a
+/// tight per-row loop instead of a bounds-checked store per element. This is
+/// the single definition of the hot dispatch body shared by `run_shard` and
+/// the engine's resident-PE worker — the bit-identity guarantee between
+/// those paths rests on them issuing exactly this program.
+///
+/// # Errors
+/// [`MachineError::Timeout`] when the PE fails to drain within the chunk's
+/// work-derived budget, and [`MachineError::UopOverflow`] from the dispatch.
+pub(crate) fn retire_chunk_group(
+    pe: &mut ProcessingEngine,
+    chunk: &ColumnChunk,
+    stream: usize,
+    group: usize,
+    input_base: usize,
+    uop_buf: &[ExecUop],
+    layer: &Layer,
+    mut emit: impl FnMut(usize, &[f32]),
+) -> Result<(), MachineError> {
+    dispatch_group(pe, chunk, stream, group, input_base, uop_buf, layer)?;
+    pe.run_until_idle_burst(chunk_cycle_budget(chunk) * group as u64);
+    if !pe.is_idle() {
+        return Err(MachineError::Timeout {
+            layer: layer.name.clone(),
+        });
+    }
+    let produced = pe.output_contents();
+    for k in 0..group {
+        emit(k, &produced[k * chunk.cols..(k + 1) * chunk.cols]);
+    }
+    Ok(())
+}
+
 /// Configures the index generators for one chunk × channel-group dispatch
 /// and enqueues its µop pairs: the input generator replays the shared stream
 /// once per channel, the weight generator walks the concatenated per-channel
 /// streams, and the output generator hands each program its own word.
+///
+/// `input_base` selects which resident input stream the dispatch reads: the
+/// input generator walks `[input_base, input_base + stream)` through its
+/// constant-offset register. The per-layer paths keep a single stream resident
+/// (`input_base == 0`); the inference engine stages a whole block of rows'
+/// streams and addresses one per dispatch.
 fn dispatch_group(
     pe: &mut ProcessingEngine,
     chunk: &ColumnChunk,
     stream: usize,
     group: usize,
+    input_base: usize,
     uop_buf: &[ExecUop],
     layer: &Layer,
 ) -> Result<(), MachineError> {
@@ -779,7 +859,7 @@ fn dispatch_group(
         AddrGenKind::Input,
         GeneratorConfig {
             addr: 0,
-            offset: 0,
+            offset: input_base as u16,
             step: 1,
             end: stream as u16,
             repeat: group as u16,

@@ -213,6 +213,12 @@ pub struct NetworkExecution {
     pub output: Tensor,
     /// Total wall-clock seconds.
     pub wall_seconds: f64,
+    /// Wall-clock seconds spent planning layers **during this call**: the
+    /// one-shot paths ([`GanaxMachine::execute_network`] and the staged
+    /// baseline) report their per-call planning cost here; runs from a
+    /// prebuilt [`CompiledNetwork`](crate::CompiledNetwork) report exactly
+    /// `0.0` — the plan cache was hit.
+    pub plan_seconds: f64,
 }
 
 impl NetworkExecution {
@@ -437,14 +443,16 @@ impl GanaxMachine {
         self.execute_network_threaded(network, input, weights, available)
     }
 
-    /// Executes a whole network end to end with an explicit worker count.
+    /// Executes a whole network end to end with an explicit worker count, by
+    /// compiling it and running the result once on a fresh
+    /// [`InferenceEngine`](crate::InferenceEngine) — so every one-shot caller
+    /// exercises the exact serving path, paying the compile cost that a
+    /// long-lived engine amortizes across requests. The returned report's
+    /// [`NetworkExecution::plan_seconds`] carries that compile cost;
+    /// [`NetworkExecution::wall_seconds`] includes it.
     ///
-    /// Each PE-array layer runs through the fast burst/threaded path (the
-    /// worker count is clamped per layer to its output height); projection
-    /// layers run on the host. While one layer executes, the next PE-array
-    /// layer's plan is staged on a spare thread. The per-layer epilogue
-    /// (bias, activation) is applied between stages, so each layer consumes
-    /// exactly what the previous stage handed off.
+    /// Results are bit-identical to [`GanaxMachine::execute_network_staged`]
+    /// (the pre-engine baseline) at every worker count.
     ///
     /// # Errors
     /// As [`GanaxMachine::execute_network`].
@@ -457,6 +465,39 @@ impl GanaxMachine {
     ) -> Result<NetworkExecution, MachineError> {
         check_network_inputs(network, input, weights)?;
         let start = Instant::now();
+        let engine = crate::InferenceEngine::new(*self, threads);
+        let compiled = engine.compile(network, weights)?;
+        let mut run = engine.execute(&compiled, input)?;
+        run.plan_seconds = compiled.plan_seconds();
+        run.wall_seconds = start.elapsed().as_secs_f64();
+        Ok(run)
+    }
+
+    /// Executes a whole network through the **pre-engine staged path**: plans
+    /// are rebuilt on every call (layer `N + 1`'s plan staged on a spare
+    /// thread while layer `N` retires), each layer spawns fresh
+    /// `std::thread::scope` workers with newly constructed PEs, and operand
+    /// streams are re-gathered per output row.
+    ///
+    /// This is the **cold / uncompiled serving baseline**: what one request
+    /// costs without a cached [`CompiledNetwork`](crate::CompiledNetwork).
+    /// It is retained verbatim (plus planning-time accounting) as the oracle
+    /// the engine paths are validated against — outputs, cycles and counters
+    /// are bit-identical between the two — and as the `cold` measurement of
+    /// `bench_serve`.
+    ///
+    /// # Errors
+    /// As [`GanaxMachine::execute_network`].
+    pub fn execute_network_staged(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        weights: &NetworkWeights,
+        threads: usize,
+    ) -> Result<NetworkExecution, MachineError> {
+        check_network_inputs(network, input, weights)?;
+        let start = Instant::now();
+        let mut plan_seconds = 0.0f64;
         let layers = network.layers();
         let next_machine_layer = |from: usize| {
             layers[from..]
@@ -496,14 +537,24 @@ impl GanaxMachine {
             let next = next_machine_layer(i + 1)
                 .filter(|j| staged.as_ref().map_or(true, |(idx, _)| idx != j));
             let (result, staged_next) = std::thread::scope(|scope| {
-                let handle = next
-                    .map(|j| scope.spawn(move || self.plan_layer(&layers[j], weights.weight(j))));
+                let handle = next.map(|j| {
+                    scope.spawn(move || {
+                        let plan_start = Instant::now();
+                        let plan = self.plan_layer(&layers[j], weights.weight(j));
+                        (plan, plan_start.elapsed().as_secs_f64())
+                    })
+                });
                 let result = if is_host {
                     host_projection(layer, &current, weights.weight(i)).map(StageRun::Host)
                 } else {
                     let planned = match prebuilt {
                         Some(plan) => Ok(plan),
-                        None => self.plan_layer(layer, weights.weight(i)),
+                        None => {
+                            let plan_start = Instant::now();
+                            let plan = self.plan_layer(layer, weights.weight(i));
+                            plan_seconds += plan_start.elapsed().as_secs_f64();
+                            plan
+                        }
                     };
                     planned.and_then(|plan| {
                         self.execute_planned(layer, &current, &plan, threads)
@@ -514,7 +565,8 @@ impl GanaxMachine {
                 (result, staged_next)
             });
             let stage = result?;
-            if let (Some(j), Some(plan_result)) = (next, staged_next) {
+            if let (Some(j), Some((plan_result, plan_elapsed))) = (next, staged_next) {
+                plan_seconds += plan_elapsed;
                 staged = Some((j, plan_result?));
             }
             let (mut out, report) = match stage {
@@ -565,6 +617,7 @@ impl GanaxMachine {
             layers: reports,
             output: current,
             wall_seconds: start.elapsed().as_secs_f64(),
+            plan_seconds,
         })
     }
 }

@@ -123,6 +123,18 @@ impl AccessEngine {
         self.stall_cycles
     }
 
+    /// Resets the engine to its just-constructed state in place: generators
+    /// cleared and stopped, FIFOs emptied (allocations kept), counters zeroed.
+    pub fn reset(&mut self) {
+        for gen in &mut self.generators {
+            gen.reset();
+        }
+        for fifo in &mut self.fifos {
+            fifo.clear();
+        }
+        self.stall_cycles = 0;
+    }
+
     /// Splits the engine into its generators, FIFOs and stall counter so a
     /// burst-stepping PE can drain addresses and fix up bookkeeping while
     /// holding disjoint borrows. Index both arrays with

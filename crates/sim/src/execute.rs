@@ -115,6 +115,12 @@ impl ExecuteEngine {
         self.alu_ops
     }
 
+    /// Resets the engine to its just-constructed state: accumulator, repeat
+    /// machinery, in-flight µop, activation select and ALU counter.
+    pub fn reset(&mut self) {
+        *self = ExecuteEngine::new();
+    }
+
     /// The accumulator's current value.
     pub fn accumulator(&self) -> f32 {
         self.accumulator

@@ -106,6 +106,14 @@ impl<T> Bounded<T> {
     fn is_full(&self) -> bool {
         self.items.len() >= self.capacity
     }
+
+    /// Drops all queued items and zeroes the push/pop counters, keeping the
+    /// backing allocation (a PE being reset in place between dispatches).
+    fn clear(&mut self) {
+        self.items.clear();
+        self.pushes = 0;
+        self.pops = 0;
+    }
 }
 
 /// A bounded FIFO of operand addresses between an index generator and the
@@ -172,6 +180,11 @@ impl AddrFifo {
         self.inner.pops
     }
 
+    /// Empties the FIFO and zeroes its counters in place (allocation kept).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
     /// Records `n` addresses that logically transited the FIFO without being
     /// materialized (a burst-stepped PE hands generator output straight to the
     /// execute µ-engine). Keeps the push/pop energy counters identical to the
@@ -236,6 +249,11 @@ impl UopFifo {
     /// Whether the FIFO is at capacity.
     pub fn is_full(&self) -> bool {
         self.inner.is_full()
+    }
+
+    /// Empties the FIFO and zeroes its counters in place (allocation kept).
+    pub fn clear(&mut self) {
+        self.inner.clear();
     }
 
     /// Iterates the queued µops oldest-first without consuming them (the

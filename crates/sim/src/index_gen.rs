@@ -142,23 +142,26 @@ impl StridedIndexGenerator {
         count
     }
 
-    /// If every upcoming address is simply `(current + k) mod end` — the
-    /// generator walks with step 1 and no offset, wrapping straight to 0 —
-    /// returns `(current, end)`. Burst-stepping uses this to replace
-    /// per-tick calls with slice windows over the scratchpad;
-    /// [`Self::advance_wrapping`] settles the generator state afterwards.
-    /// Covers both single final rounds and multi-round replays (the
-    /// machine's repeated operand streams).
+    /// If every upcoming address is simply `offset + ((current + k) mod end)`
+    /// — the generator walks with step 1, wrapping straight to 0 — returns
+    /// the *relative* `(current, end)` pair. Burst-stepping adds
+    /// [`GeneratorConfig::offset`] (see [`StridedIndexGenerator::offset`]) to
+    /// turn the window into absolute scratchpad addresses and replaces
+    /// per-tick calls with slice windows; [`Self::advance_wrapping`] settles
+    /// the generator state afterwards. Covers both single final rounds and
+    /// multi-round replays (the machine's repeated operand streams, including
+    /// the engine's block-resident streams addressed through `offset`).
     pub(crate) fn burst_wrap_window(&self) -> Option<(u16, u16)> {
-        if self.running
-            && self.config.step == 1
-            && self.config.offset == 0
-            && self.current < self.config.end
-        {
+        if self.running && self.config.step == 1 && self.current < self.config.end {
             Some((self.current, self.config.end))
         } else {
             None
         }
+    }
+
+    /// The constant offset added to every generated address.
+    pub(crate) fn offset(&self) -> u16 {
+        self.config.offset
     }
 
     /// Advances the generator state by exactly `n` ticks in O(1). Valid only
@@ -176,6 +179,12 @@ impl StridedIndexGenerator {
         if self.remaining_repeats == 0 {
             self.running = false;
         }
+    }
+
+    /// Resets the generator to its just-constructed state: configuration
+    /// cleared, stopped, and the generated-address counter zeroed.
+    pub fn reset(&mut self) {
+        *self = StridedIndexGenerator::new();
     }
 
     /// Number of addresses one full run of the current configuration yields

@@ -98,6 +98,26 @@ impl ProcessingEngine {
         self.config
     }
 
+    /// Resets the PE to its just-constructed state **in place**: scratchpads
+    /// zeroed, FIFOs emptied, index generators cleared and stopped, the
+    /// execute µ-engine idled, and every cycle/activity counter zeroed — all
+    /// without releasing a single allocation. A long-lived worker PE calls
+    /// this between dispatch batches instead of being reconstructed, so the
+    /// serving steady state stays allocation-free.
+    ///
+    /// After `reset`, the PE compares equal to `ProcessingEngine::new(config)`.
+    pub fn reset(&mut self) {
+        self.access.reset();
+        self.execute.reset();
+        self.uop_fifo.clear();
+        self.input.reset();
+        self.weights.reset();
+        self.output.reset();
+        self.cycles = 0;
+        self.busy_cycles = 0;
+        self.uop_fetches = 0;
+    }
+
     /// Bulk-loads the input scratchpad from word 0.
     pub fn load_input(&mut self, values: &[f32]) {
         self.input.fill(values);
@@ -490,13 +510,21 @@ impl ProcessingEngine {
         // when both sides qualify — and their FIFOs are empty, so every
         // address comes straight off the generator; otherwise the general
         // per-cycle path ticks both generators.
-        let wrap_window = |gen: &StridedIndexGenerator, take: u64| -> Option<(usize, usize)> {
-            if take != 0 {
-                return None;
-            }
-            gen.burst_wrap_window()
-                .map(|(current, end)| (current as usize, end as usize))
-        };
+        // Windows are absolute scratchpad positions: the generator's constant
+        // `offset` shifts the whole window (the engine keeps several gathered
+        // streams resident and addresses one via `offset`), and the wrap goes
+        // back to the window base, mirroring `tick`'s `offset + (pos % end)`.
+        // Guarded against u16 wraparound, which only `tick` reproduces.
+        let wrap_window =
+            |gen: &StridedIndexGenerator, take: u64| -> Option<(usize, usize, usize)> {
+                if take != 0 {
+                    return None;
+                }
+                let base = gen.offset() as usize;
+                gen.burst_wrap_window()
+                    .filter(|&(_, end)| base + end as usize <= u16::MAX as usize + 1)
+                    .map(|(current, end)| (base + current as usize, base + end as usize, base))
+            };
         let windows = match (
             wrap_window(&gens[in_idx], take[0]),
             wrap_window(&gens[wt_idx], take[1]),
@@ -511,9 +539,11 @@ impl ProcessingEngine {
         // occupancy, the generator's full-FIFO stalls and the pass-through
         // counters reduce to integer bookkeeping.
         let out_cap = fifos[out_idx].capacity() as u64;
+        let out_base = gens[out_idx].offset() as u64;
         let out_fast = if fifos[out_idx].is_empty() {
             gens[out_idx]
                 .burst_wrap_window()
+                .filter(|&(_, end)| out_base + end as u64 <= u16::MAX as u64 + 1)
                 .and_then(|(current, end)| {
                     let supply = gens[out_idx].remaining_addresses_up_to(total + out_cap + 1);
                     (supply == programs).then_some((current as u64, end as u64))
@@ -529,9 +559,10 @@ impl ProcessingEngine {
         let mut taken = [0u64; 2];
         let mut done = 0u64;
         let mut popped = 0u64;
-        // Window cursors (positions advance modulo each window's wrap point).
-        let (mut in_pos, in_end) = windows.map(|(i, _)| i).unwrap_or((0, 1));
-        let (mut wt_pos, wt_end) = windows.map(|(_, w)| w).unwrap_or((0, 1));
+        // Window cursors (positions advance modulo each window's wrap point,
+        // wrapping back to the window base).
+        let (mut in_pos, in_end, in_base) = windows.map(|(i, _)| i).unwrap_or((0, 1, 0));
+        let (mut wt_pos, wt_end, wt_base) = windows.map(|(_, w)| w).unwrap_or((0, 1, 0));
         // Fetch the whole proven program queue at once; with a uniform queue
         // the per-program repeat counts need no re-derivation and the drain
         // drops in bulk.
@@ -569,11 +600,11 @@ impl ProcessingEngine {
                         }
                         in_pos += run;
                         if in_pos == in_end {
-                            in_pos = 0;
+                            in_pos = in_base;
                         }
                         wt_pos += run;
                         if wt_pos == wt_end {
-                            wt_pos = 0;
+                            wt_pos = wt_base;
                         }
                         left -= run;
                     }
@@ -612,7 +643,7 @@ impl ProcessingEngine {
                     out_produced += pushes;
                     debug_assert!(out_len >= 1, "output availability proved");
                     out_len -= 1;
-                    let addr = ((current + popped) % end) as u16;
+                    let addr = (out_base + (current + popped) % end) as u16;
                     popped += 1;
                     addr
                 }
@@ -955,6 +986,54 @@ mod tests {
     }
 
     #[test]
+    fn reset_restores_the_just_constructed_state() {
+        let config = PeConfig {
+            addr_fifo_entries: 4,
+            uop_fifo_entries: 8,
+            ..PeConfig::paper()
+        };
+        let mut pe = ProcessingEngine::new(config);
+        pe.load_input(&[1.0, 2.0, 3.0]);
+        pe.load_weights(&[4.0, 5.0, 6.0]);
+        pe.set_activation(ActivationKind::Relu);
+        pe.configure_linear(AddrGenKind::Input, 0, 1, 3, 2);
+        pe.configure_linear(AddrGenKind::Weight, 0, 1, 3, 2);
+        pe.configure_linear(AddrGenKind::Output, 0, 1, 2, 1);
+        pe.start_all();
+        pe.set_repeat(3);
+        pe.push_uop(ExecUop::Repeat);
+        pe.push_uop(ExecUop::Mac);
+        pe.push_uop(ExecUop::Mac);
+        // Step mid-program so a µop is in flight and addresses are queued.
+        for _ in 0..4 {
+            pe.step();
+        }
+        assert!(!pe.is_idle());
+        pe.reset();
+        assert_eq!(pe, ProcessingEngine::new(config), "reset must equal new");
+        assert!(pe.is_idle());
+        assert_eq!(pe.counts(), EventCounts::default());
+
+        // A reset PE executes a fresh program exactly like a new one.
+        let run = |pe: &mut ProcessingEngine| {
+            pe.load_input(&[1.0, 2.0, 3.0, 4.0]);
+            pe.load_weights(&[0.5, -1.0, 2.0, 0.25]);
+            pe.configure_linear(AddrGenKind::Input, 0, 1, 4, 1);
+            pe.configure_linear(AddrGenKind::Weight, 0, 1, 4, 1);
+            pe.configure_linear(AddrGenKind::Output, 0, 1, 1, 1);
+            pe.start_all();
+            pe.set_repeat(4);
+            pe.push_uop(ExecUop::Repeat);
+            pe.push_uop(ExecUop::Mac);
+            pe.run_until_idle_burst(1_000);
+        };
+        run(&mut pe);
+        let mut fresh = ProcessingEngine::new(config);
+        run(&mut fresh);
+        assert_eq!(pe, fresh, "reset PE diverged from a newly constructed one");
+    }
+
+    #[test]
     fn try_push_uop_reports_overflow() {
         let mut pe = ProcessingEngine::new(PeConfig {
             uop_fifo_entries: 2,
@@ -1159,6 +1238,56 @@ mod tests {
                 pe.configure_linear(AddrGenKind::Input, 0, 1, in_end, in_rounds);
                 pe.configure_linear(AddrGenKind::Weight, 0, 1, operand_end, 1);
                 pe.configure_linear(AddrGenKind::Output, out_start, 1, out_start + cols, 1);
+                pe.start_all();
+                pe.set_repeat(taps);
+                for _ in 0..cols {
+                    pe.push_uop(ExecUop::Repeat);
+                    pe.push_uop(ExecUop::Mac);
+                }
+            }
+            let budget = 512;
+            let ref_cycles = reference.run_until_idle(budget);
+            let fast_cycles = fast.run_until_idle_burst(budget);
+            prop_assert_eq!(ref_cycles, fast_cycles, "cycle counts diverged");
+            prop_assert_eq!(&reference, &fast, "PE state diverged");
+        }
+
+        /// Offset-shifted operand windows — the inference engine keeps several
+        /// gathered streams resident in one scratchpad and selects one via the
+        /// generator's `offset` register — retire identically to single
+        /// stepping, for both in-flight bursts and whole queued programs.
+        #[test]
+        fn prop_offset_windows_equal_single_step(
+            cols in 1u16..7,
+            taps in 1u16..6,
+            in_offset in 0u16..24,
+            wt_offset in 0u16..16,
+            fifo_entries in 2usize..9,
+            rounds in 1u16..4,
+        ) {
+            let total = cols * taps;
+            let in_end = total.div_ceil(rounds).max(1);
+            let config = PeConfig {
+                input_words: 64,
+                weight_words: 64,
+                output_words: 16,
+                addr_fifo_entries: fifo_entries,
+                uop_fifo_entries: 32,
+            };
+            let data: Vec<f32> = (0..64).map(|i| (i as f32) * 0.53 - 2.0).collect();
+            let weights: Vec<f32> = (0..64).map(|i| 1.3 - (i as f32) * 0.19).collect();
+            let mut reference = ProcessingEngine::new(config);
+            reference.load_input(&data);
+            reference.load_weights(&weights);
+            let mut fast = reference.clone();
+            for pe in [&mut reference, &mut fast] {
+                pe.configure_generator(AddrGenKind::Input, GeneratorConfig {
+                    addr: 0, offset: in_offset, step: 1, end: in_end, repeat: rounds,
+                });
+                pe.configure_generator(AddrGenKind::Weight, GeneratorConfig {
+                    addr: 0, offset: wt_offset, step: 1, end: total, repeat: 1,
+                });
+                pe.configure_linear(AddrGenKind::Output, 0, 1, cols, 1);
                 pe.start_all();
                 pe.set_repeat(taps);
                 for _ in 0..cols {
