@@ -5,7 +5,10 @@
 //! needs a JSON emitter); this bench tracks the engine's hot paths under
 //! Criterion so regressions show up in `cargo bench serve`.
 
+use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, Criterion};
+use ganax::serve::{ServeConfig, Server};
 use ganax::{GanaxMachine, InferenceEngine};
 use ganax_bench::{deterministic_tensor, network_weights};
 use ganax_models::zoo;
@@ -49,6 +52,36 @@ fn bench_serve(c: &mut Criterion) {
                 .execute_batch(&compiled, &inputs)
                 .expect("batch executes");
             std::hint::black_box(run.busy_pe_cycles)
+        })
+    });
+
+    group.bench_function("dcgan_reduced8_server_wave4", |b| {
+        // The full async round trip: admission, wave coalescing, batched
+        // execution, ticket retirement — 4 requests through one server.
+        let server = Server::new(
+            InferenceEngine::new(machine, 2),
+            ServeConfig {
+                max_batch: 4,
+                batch_window: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server builds");
+        let model = server
+            .register(&network, &weights)
+            .expect("model registers");
+        let inputs: Vec<_> = (0..4)
+            .map(|k| deterministic_tensor(network.input_shape(), 13 + k))
+            .collect();
+        b.iter(|| {
+            let tickets: Vec<_> = inputs
+                .iter()
+                .map(|input| server.submit(model, input.clone()).expect("queue has room"))
+                .collect();
+            for ticket in tickets {
+                let response = ticket.wait().expect("request succeeds");
+                std::hint::black_box(response.wave_size);
+            }
         })
     });
 

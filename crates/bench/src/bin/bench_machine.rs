@@ -17,7 +17,7 @@
 //! results are asserted bit-identical to the reference before any timing is
 //! reported.
 
-use ganax_bench::{bench_thread_counts, machine_bench, MachineBenchRow};
+use ganax_bench::{cli_out_path, cli_thread_counts, machine_bench, MachineBenchRow};
 use serde::Serialize;
 
 /// The emitted `BENCH_machine.json` document.
@@ -41,18 +41,8 @@ fn main() {
         ganax_bench::machine_fast_only_loop(quick);
         return;
     }
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_machine.json".to_string());
-    let threads_arg = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let thread_counts = bench_thread_counts(threads_arg.as_deref());
+    let out_path = cli_out_path(&args, "BENCH_machine.json");
+    let thread_counts = cli_thread_counts(&args);
 
     let rows = machine_bench(quick, &thread_counts);
     for row in &rows {

@@ -14,23 +14,13 @@
 //! machine-vs-analytic cross-check, and the simulated speedup/energy
 //! direction against the Eyeriss baseline.
 
-use ganax_bench::{bench_thread_counts, network_bench};
+use ganax_bench::{cli_out_path, cli_thread_counts, network_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_network.json".to_string());
-    let threads_arg = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let thread_counts = bench_thread_counts(threads_arg.as_deref());
+    let out_path = cli_out_path(&args, "BENCH_network.json");
+    let thread_counts = cli_thread_counts(&args);
 
     let report = network_bench(quick, &thread_counts);
     for row in &report.rows {

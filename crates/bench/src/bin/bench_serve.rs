@@ -19,30 +19,23 @@
 //! * **batched** — [`ganax::InferenceEngine::execute_batch`] amortizing
 //!   staged weight streams across batch × rows on a 4+-worker pool.
 //!
+//! On top of the single-request paths, the offered-load sweep drives the
+//! async [`ganax::serve::Server`] through seeded Poisson arrival schedules
+//! at sub-capacity, near-capacity and saturating rates — batched wave
+//! dispatch versus serial per-request dispatch on same-sized pools — and
+//! records p50/p99 latency and throughput per rate.
+//!
 //! Every path is asserted bit-identical to the staged baseline before its
 //! timing is reported.
 
-use ganax_bench::{bench_thread_counts, serve_bench};
+use ganax_bench::{cli_out_path, cli_thread_counts, cli_value, serve_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let threads_arg = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let thread_counts = bench_thread_counts(threads_arg.as_deref());
-    let batch_size = args
-        .iter()
-        .position(|a| a == "--batch")
-        .and_then(|i| args.get(i + 1))
+    let out_path = cli_out_path(&args, "BENCH_serve.json");
+    let thread_counts = cli_thread_counts(&args);
+    let batch_size = cli_value(&args, "--batch")
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
 
@@ -80,6 +73,29 @@ fn main() {
             row.speedup_vs_best_serial,
         );
     }
+
+    for row in &report.offered_load {
+        println!(
+            "  offered {:>7} @ {:>6.3} req/s ({:.1}x cap)  p50 {:>9.1} ms  p99 {:>9.1} ms  {:.3} req/s  waves {} (mean {:.2})",
+            row.mode,
+            row.arrival_rate_per_sec,
+            row.load_factor,
+            row.p50_latency_ms,
+            row.p99_latency_ms,
+            row.throughput_per_sec,
+            row.waves,
+            row.mean_wave,
+        );
+        assert!(
+            row.p50_latency_ms.is_finite() && row.p99_latency_ms.is_finite(),
+            "offered-load tail latency must be finite: {row:?}"
+        );
+        assert!(row.bit_identical, "offered-load row lost bit-identity");
+    }
+    println!(
+        "  offered-load peak: batched waves {:.2}x serial dispatch",
+        report.offered_load_peak_speedup,
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("BENCH_serve.json is writable");

@@ -16,9 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ganax::compare::{compare_all, geometric_mean, ModelComparison, SimulatedComparison};
+use ganax::serve::{ServeConfig, Server};
 use ganax::sweep::MachineSweepCell;
 use ganax::{DesignSummary, GanaxMachine, InferenceEngine, NetworkWeights, SweepCell, SweepSpec};
 use ganax_energy::EnergyCategory;
@@ -205,6 +206,31 @@ pub fn bench_thread_counts(arg: Option<&str>) -> Vec<usize> {
     counts.sort_unstable();
     counts.dedup();
     counts
+}
+
+/// The value following a `--flag value` pair in a bench binary's argument
+/// list (`None` when the flag is absent or dangling).
+///
+/// Every bench binary shares this tiny CLI grammar; parsing it here keeps
+/// the binaries from each hand-rolling (and subtly diverging on) the same
+/// position-scan.
+pub fn cli_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The output path of a bench report: `--out path` or the bench's default.
+pub fn cli_out_path(args: &[String], default: &str) -> String {
+    cli_value(args, "--out").unwrap_or(default).to_string()
+}
+
+/// The thread-count sweep of a bench invocation: `--threads a,b,c`, the
+/// `GANAX_BENCH_THREADS` environment variable, or the default — the CLI
+/// front half of [`bench_thread_counts`] (see there for panics).
+pub fn cli_thread_counts(args: &[String]) -> Vec<usize> {
+    bench_thread_counts(cli_value(args, "--threads"))
 }
 
 /// The host's available parallelism (1 when it cannot be determined).
@@ -675,11 +701,45 @@ pub struct ServeBatchRow {
     pub speedup_vs_best_serial: f64,
 }
 
+/// One offered-load row of `BENCH_serve.json`: a [`ganax::serve::Server`]
+/// under a seeded Poisson arrival schedule at one arrival rate, in one
+/// dispatch mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct OfferedLoadRow {
+    /// Dispatch mode: `"batched"` (wave coalescing, `max_batch` 8) or
+    /// `"serial"` (`max_batch` 1 — per-request dispatch on the same pool).
+    pub mode: String,
+    /// Pool workers behind the server.
+    pub threads: usize,
+    /// Offered load in requests per second (the Poisson arrival rate).
+    pub arrival_rate_per_sec: f64,
+    /// Offered load relative to the pool's measured serial capacity.
+    pub load_factor: f64,
+    /// Requests in the schedule (all completed — asserted).
+    pub requests: usize,
+    /// Waves the server dispatched.
+    pub waves: u64,
+    /// Mean requests per wave (1.0 in serial mode).
+    pub mean_wave: f64,
+    /// Largest wave dispatched.
+    pub max_wave: usize,
+    /// Median end-to-end latency (submit → resolve) in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Completed requests per second, first submission to last resolution.
+    pub throughput_per_sec: f64,
+    /// Whether every response matched the engine baseline bit for bit
+    /// (asserted, so a recorded row always says `true`).
+    pub bit_identical: bool,
+}
+
 /// The serving benchmark report behind `BENCH_serve.json`: cold (uncompiled,
 /// pre-engine staged path) versus warm (cached-plan engine) single-inference
-/// latency, warm thread scaling, and batched throughput — all on the DCGAN
-/// generator, all bit-identical to the staged baseline (asserted before any
-/// number is reported).
+/// latency, warm thread scaling, batched throughput, and an offered-load
+/// sweep of the async [`ganax::serve::Server`] — all on the DCGAN generator,
+/// all bit-identical to the staged baseline (asserted before any number is
+/// reported).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeBenchReport {
     /// Benchmark family name.
@@ -724,6 +784,13 @@ pub struct ServeBenchReport {
     pub thread_rows: Vec<ServeThreadRow>,
     /// Batched throughput rows (pool of `max(4, available)` workers).
     pub batch_rows: Vec<ServeBatchRow>,
+    /// Offered-load sweep: `"batched"` and `"serial"` dispatch at each
+    /// arrival rate, on same-sized pools.
+    pub offered_load: Vec<OfferedLoadRow>,
+    /// Batched-wave throughput over serial per-request throughput at the
+    /// highest recorded arrival rate — the dynamic-batching payoff under
+    /// saturation.
+    pub offered_load_peak_speedup: f64,
 }
 
 /// Runs the serving benchmark on the DCGAN generator (channel-capped at 64
@@ -856,6 +923,12 @@ pub fn serve_bench(quick: bool, thread_counts: &[usize], batch_size: usize) -> S
         speedup_vs_best_serial: batch_throughput / best_serial_throughput,
     }];
 
+    // Offered load: the async server under seeded Poisson arrivals —
+    // batched wave dispatch versus serial per-request dispatch, on
+    // same-sized pools.
+    let (offered_load, offered_load_peak_speedup) =
+        offered_load_sweep(machine, &network, &weights, batch_threads);
+
     ServeBenchReport {
         bench: "serve".to_string(),
         quick,
@@ -874,7 +947,173 @@ pub fn serve_bench(quick: bool, thread_counts: &[usize], batch_size: usize) -> S
         bit_identical: true,
         thread_rows,
         batch_rows,
+        offered_load,
+        offered_load_peak_speedup,
     }
+}
+
+/// Base seed of the offered-load input stream; request `i` of every
+/// offered-load case reuses input `i`, so one set of engine baselines
+/// validates every row.
+const OFFERED_INPUT_SEED: u64 = 90_001;
+
+/// `n` seeded exponential interarrival gaps (a Poisson process) at `rate`
+/// requests per second, in seconds.
+fn exponential_interarrivals(rate_per_sec: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            // A 53-bit mantissa draw in [0, 1); the (1 - u) flip keeps ln
+            // away from zero.
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            -(1.0 - u).ln() / rate_per_sec
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile of an ascending latency list.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs one offered-load case: a fresh [`Server`] over a
+/// `pool_threads`-worker engine, driven by the seeded arrival schedule, with
+/// every response asserted bit-identical to `expected` and plan-free.
+#[allow(clippy::too_many_arguments)]
+fn offered_load_case(
+    machine: GanaxMachine,
+    network: &Network,
+    weights: &NetworkWeights,
+    expected: &[Tensor],
+    pool_threads: usize,
+    batched: bool,
+    rate_per_sec: f64,
+    load_factor: f64,
+    window: Duration,
+    seed: u64,
+) -> OfferedLoadRow {
+    let n = expected.len();
+    let config = if batched {
+        ServeConfig {
+            max_batch: 8,
+            batch_window: window,
+            ..ServeConfig::default()
+        }
+    } else {
+        // Serial per-request dispatch on the same pool: every wave is one
+        // request, exactly what a server without coalescing would do.
+        ServeConfig {
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        }
+    };
+    let server =
+        Server::new(InferenceEngine::new(machine, pool_threads), config).expect("server builds");
+    let model = server
+        .register(network, weights)
+        .expect("the generator registers");
+
+    let gaps = exponential_interarrivals(rate_per_sec, n, seed);
+    let start = Instant::now();
+    let mut due = 0.0f64;
+    let mut tickets = Vec::with_capacity(n);
+    for (i, gap) in gaps.into_iter().enumerate() {
+        due += gap;
+        if let Some(wait) = Duration::from_secs_f64(due).checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let input = deterministic_tensor(network.input_shape(), OFFERED_INPUT_SEED + 31 * i as u64);
+        tickets.push(server.submit(model, input).expect("queue has room"));
+    }
+    let mut latencies_ms = Vec::with_capacity(n);
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait().expect("request succeeds");
+        assert_eq!(
+            response.output, expected[i],
+            "offered-load response {i} diverged from the engine baseline"
+        );
+        assert_eq!(response.plan_seconds, 0.0, "warm serving must not plan");
+        latencies_ms.push(response.latency_seconds * 1e3);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    assert_eq!(stats.completed, n as u64, "every request completes");
+    latencies_ms.sort_by(f64::total_cmp);
+    OfferedLoadRow {
+        mode: if batched { "batched" } else { "serial" }.to_string(),
+        threads: pool_threads,
+        arrival_rate_per_sec: rate_per_sec,
+        load_factor,
+        requests: n,
+        waves: stats.waves,
+        mean_wave: stats.mean_wave(),
+        max_wave: stats.max_wave,
+        p50_latency_ms: percentile(&latencies_ms, 0.50),
+        p99_latency_ms: percentile(&latencies_ms, 0.99),
+        throughput_per_sec: n as f64 / elapsed,
+        bit_identical: true,
+    }
+}
+
+/// The offered-load sweep behind `BENCH_serve.json`: calibrates the pool's
+/// serial capacity, then drives batched and serial servers through the same
+/// seeded arrival schedules at sub-capacity, near-capacity and saturating
+/// rates. Returns the rows plus the batched-over-serial throughput ratio at
+/// the highest rate.
+fn offered_load_sweep(
+    machine: GanaxMachine,
+    network: &Network,
+    weights: &NetworkWeights,
+    pool_threads: usize,
+) -> (Vec<OfferedLoadRow>, f64) {
+    // Calibration doubles as baseline collection: each timed probe run is
+    // also the expected output the served responses must reproduce.
+    let probe = InferenceEngine::new(machine, pool_threads);
+    let compiled = probe.compile(network, weights).expect("network compiles");
+    let load_points = [(0.8, 4usize), (1.5, 6), (4.0, 12)];
+    let n_max = load_points.iter().map(|&(_, n)| n).max().unwrap_or(0);
+    let mut serial_seconds = 0.0;
+    let expected: Vec<Tensor> = (0..n_max)
+        .map(|i| {
+            let input =
+                deterministic_tensor(network.input_shape(), OFFERED_INPUT_SEED + 31 * i as u64);
+            let run_start = Instant::now();
+            let run = probe.execute(&compiled, &input).expect("baseline executes");
+            serial_seconds += run_start.elapsed().as_secs_f64();
+            run.output
+        })
+        .collect();
+    drop(probe);
+    let serial_latency = serial_seconds / n_max as f64;
+    let capacity_per_sec = 1.0 / serial_latency;
+    // The coalescing budget scales with service time: long enough to form
+    // waves under load, short enough to stay invisible next to one service.
+    let window = Duration::from_secs_f64((serial_latency * 0.02).clamp(0.002, 0.050));
+
+    let mut rows = Vec::new();
+    for (k, &(load_factor, n)) in load_points.iter().enumerate() {
+        let rate = load_factor * capacity_per_sec;
+        for batched in [true, false] {
+            rows.push(offered_load_case(
+                machine,
+                network,
+                weights,
+                &expected[..n],
+                pool_threads,
+                batched,
+                rate,
+                load_factor,
+                window,
+                // Both modes replay the identical arrival schedule.
+                0xA11CE + 1_000 * k as u64,
+            ));
+        }
+    }
+    let peak = rows.len() - 2;
+    let peak_speedup = rows[peak].throughput_per_sec / rows[peak + 1].throughput_per_sec;
+    (rows, peak_speedup)
 }
 
 /// The design-space geometries the sweep bench covers: the paper's 16 × 16

@@ -321,6 +321,34 @@ impl GanaxConfig {
             })?;
         config.validated()
     }
+
+    /// A stable 64-bit fingerprint of the whole configuration, hashed over
+    /// its canonical JSON form. Two configs fingerprint equal exactly when
+    /// every field (geometry, clock, energies, PE sizings, area) is equal —
+    /// the serving plan cache uses this as the config half of its
+    /// `(network fingerprint, config fingerprint)` key, so artifacts planned
+    /// for one machine are never served on another.
+    pub fn fingerprint(&self) -> u64 {
+        let json = self
+            .to_json()
+            .expect("the shim serializer is infallible for derived configs");
+        let mut hash = FNV_OFFSET;
+        fnv1a64(&mut hash, json.as_bytes());
+        hash
+    }
+}
+
+/// FNV-1a offset basis — the seed of every fingerprint in the workspace.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a 64-bit hash in place. Shared by
+/// [`GanaxConfig::fingerprint`] and the network/weights fingerprint in
+/// [`crate::network`], so every plan-cache key component uses one hash.
+pub(crate) fn fnv1a64(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
 }
 
 /// Validates one PE sizing (`label` distinguishes the Table III sizing from

@@ -496,6 +496,38 @@ impl InferenceEngine {
         self.threads
     }
 
+    /// Whether the worker pool can still execute dispatches: at least one
+    /// worker thread is alive. `false` after [`InferenceEngine::shut_down_pool`]
+    /// or if every worker died (a panic mid-task).
+    pub fn pool_is_alive(&self) -> bool {
+        !self.handles.is_empty()
+            && !self
+                .handles
+                .iter()
+                .all(std::thread::JoinHandle::is_finished)
+    }
+
+    /// Shuts the worker pool down in place and joins every worker, leaving
+    /// the engine alive but unable to execute PE-array layers.
+    ///
+    /// This is the pool-death fault-injection hook: the serving stack must
+    /// stay *live* when the pool dies, so after this call any dispatch
+    /// resolves with a typed [`MachineError`] through the same timeout path
+    /// that guards against mid-task worker panics — it must never hang. The
+    /// async front-end's liveness tests ([`crate::serve`]) drive this
+    /// directly. Workers drain tasks already queued before exiting; calling
+    /// this between requests (no tasks in flight) is deterministic.
+    pub fn shut_down_pool(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
     /// The machine configuration requests execute under.
     pub fn machine(&self) -> &GanaxMachine {
         &self.machine

@@ -18,6 +18,10 @@
 //!   artifact, and [`InferenceEngine`] runs it (single requests or whole
 //!   batches) on a persistent worker pool whose PEs and buffers are reset in
 //!   place between inferences.
+//! * [`serve`](serve::Server) is the async serving front-end over the engine:
+//!   a submit/poll ticket API, an admission queue that coalesces same-model
+//!   requests into dynamically sized batches, and multi-model residency via
+//!   an LRU plan cache — many client threads, many models, one worker pool.
 //! * [`perf`](GanaxModel) is the layer-level performance and energy model that
 //!   evaluates full GAN workloads (the counterpart of
 //!   [`EyerissModel`](ganax_eyeriss::EyerissModel)).
@@ -58,6 +62,7 @@ pub mod engine;
 mod machine;
 pub mod network;
 mod perf;
+pub mod serve;
 pub mod sweep;
 
 pub use compiler::GanaxCompiler;
@@ -66,4 +71,5 @@ pub use engine::{BatchExecution, CompiledNetwork, InferenceEngine};
 pub use machine::{GanaxMachine, MachineError, MachineRun};
 pub use network::{LayerExecution, NetworkExecution, NetworkWeights};
 pub use perf::{AblationVariant, GanaxModel, LayerCrossCheck};
+pub use serve::{ModelHandle, Response, ServeConfig, ServeError, ServeStats, Server, Ticket};
 pub use sweep::{DesignPoint, DesignSummary, SweepCell, SweepError, SweepResult, SweepSpec};

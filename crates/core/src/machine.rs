@@ -346,6 +346,11 @@ impl GanaxMachine {
         Self::new(GanaxConfig::paper())
     }
 
+    /// The configuration this machine executes under.
+    pub fn config(&self) -> &GanaxConfig {
+        &self.config
+    }
+
     /// Executes one 2-D convolution or transposed-convolution layer, returning
     /// the computed output and the activity counters.
     ///

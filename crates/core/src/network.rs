@@ -169,6 +169,41 @@ impl NetworkWeights {
     pub fn is_empty(&self) -> bool {
         self.weights.is_empty()
     }
+
+    /// A stable 64-bit fingerprint of the model: the network's structure
+    /// (name, input shape, every layer description) folded together with
+    /// every weight value's exact `f32` bit pattern and every attached bias.
+    ///
+    /// Two `(network, weights)` pairs fingerprint equal exactly when they
+    /// describe the same computation, so the serving plan cache
+    /// ([`crate::serve::Server`]) can key compiled artifacts by
+    /// `(model fingerprint, config fingerprint)` and safely share one cache
+    /// across many resident models. `network` should be the network this
+    /// bundle was validated against; extra layers beyond the bundle's length
+    /// are ignored (a validated pair never has any).
+    pub fn fingerprint(&self, network: &Network) -> u64 {
+        let mut hash = crate::config::FNV_OFFSET;
+        let fold = crate::config::fnv1a64;
+        fold(&mut hash, network.name().as_bytes());
+        fold(&mut hash, format!("{:?}", network.input_shape()).as_bytes());
+        for (layer, weight) in network.layers().iter().zip(&self.weights) {
+            fold(&mut hash, format!("{layer:?}").as_bytes());
+            for &value in weight.data() {
+                fold(&mut hash, &value.to_bits().to_le_bytes());
+            }
+        }
+        for bias in &self.biases {
+            match bias {
+                Some(values) => {
+                    for &value in values {
+                        fold(&mut hash, &value.to_bits().to_le_bytes());
+                    }
+                }
+                None => fold(&mut hash, b"-"),
+            }
+        }
+        hash
+    }
 }
 
 /// The report of one layer's execution inside

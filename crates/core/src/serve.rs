@@ -1,0 +1,919 @@
+//! The async serving front-end: an admission queue with dynamic batching and
+//! multi-model residency over the compile-once [`InferenceEngine`].
+//!
+//! [`CompiledNetwork`] (PR 5) made the expensive half of serving — planning —
+//! a one-time cost; this module puts the deployment-scale admission layer on
+//! top, the ROADMAP's "one process, many models, many clients, bounded tails"
+//! story:
+//!
+//! * **submit/poll and blocking-wait APIs** — [`Server::submit`] enqueues a
+//!   request from any client thread and returns a [`Ticket`]; the ticket is
+//!   polled ([`Ticket::poll`]) or waited on ([`Ticket::wait`],
+//!   [`Ticket::wait_timeout`]). [`Server::run`] is the blocking convenience
+//!   (submit + wait). Many client threads share one worker pool.
+//! * **dynamic batching** — a dedicated batcher thread coalesces waiting
+//!   requests for the *same model* into [`InferenceEngine::execute_batch`]
+//!   waves, sized by a configurable latency budget
+//!   ([`ServeConfig::batch_window`]) and cap ([`ServeConfig::max_batch`]).
+//!   Batched execution is bit-identical per element to solo execution (the
+//!   PR 5 property), so coalescing changes *when* work runs, never *what* it
+//!   computes.
+//! * **multi-model residency** — several models live behind one pool. The
+//!   plan cache keys [`CompiledNetwork`] artifacts by `(network fingerprint,
+//!   config fingerprint)` ([`NetworkWeights::fingerprint`],
+//!   [`GanaxConfig::fingerprint`](crate::GanaxConfig::fingerprint)) with LRU
+//!   eviction at [`ServeConfig::plan_cache_capacity`]; an evicted model is
+//!   transparently recompiled on its next wave (the round-trip is counted in
+//!   [`ServeStats::plan_builds`] and surfaces in [`Response::plan_seconds`]).
+//! * **bounded admission** — the queue holds at most
+//!   [`ServeConfig::queue_capacity`] requests; saturation returns the typed
+//!   [`ServeError::QueueFull`] instead of blocking the client (backpressure,
+//!   not deadlock).
+//! * **shutdown liveness** — dropping the [`Server`] finishes the in-flight
+//!   wave, resolves every queued ticket with [`ServeError::Cancelled`], and
+//!   joins the batcher. A dead worker pool
+//!   ([`InferenceEngine::shut_down_pool`], or a mid-task panic) resolves
+//!   tickets with a typed [`ServeError::Engine`] through the engine's
+//!   pool-death timeout path — tickets never hang.
+//!
+//! # Example
+//!
+//! ```
+//! use ganax::serve::{ServeConfig, Server};
+//! use ganax::{GanaxMachine, InferenceEngine, NetworkWeights};
+//! use ganax_models::{Activation, NetworkBuilder};
+//! use ganax_tensor::{ConvParams, Shape, Tensor};
+//!
+//! let net = NetworkBuilder::new("toy", Shape::new_2d(1, 4, 4))
+//!     .tconv("up", 1, ConvParams::transposed_2d(5, 2, 2), Activation::Relu)
+//!     .build()
+//!     .unwrap();
+//! let weights =
+//!     NetworkWeights::new(&net, vec![Tensor::filled_filter(1, 1, 1, 5, 5, 0.5)]).unwrap();
+//!
+//! let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+//! let server = Server::new(engine, ServeConfig::default()).unwrap();
+//! let model = server.register(&net, &weights).unwrap();
+//!
+//! // Async: submit from any thread, wait on the ticket.
+//! let input = Tensor::filled(net.input_shape(), 1.0);
+//! let ticket = server.submit(model, input.clone()).unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert_eq!(response.model, "toy");
+//! assert_eq!(response.plan_seconds, 0.0, "registration primed the plan cache");
+//!
+//! // Blocking convenience; outputs are bit-identical however they are served.
+//! let again = server.run(model, input).unwrap();
+//! assert_eq!(again.output, response.output);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ganax_energy::{EnergyBreakdown, EnergyModel, EventCounts};
+use ganax_models::Network;
+use ganax_tensor::{Shape, Tensor};
+
+use crate::engine::{CompiledNetwork, InferenceEngine};
+use crate::machine::MachineError;
+use crate::network::NetworkWeights;
+
+/// Monotonic source of server identities, so a [`ModelHandle`] issued by one
+/// server is rejected (typed, not silently misrouted) by every other.
+static SERVER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Errors of the serving front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The [`ServeConfig`] is invalid (a zero capacity or batch bound).
+    Config {
+        /// Description of the invalid field.
+        detail: String,
+    },
+    /// The [`ModelHandle`] was not issued by this server.
+    UnknownModel {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// The input tensor does not match the model's input shape.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// The admission queue is at capacity — backpressure, retry later.
+    QueueFull {
+        /// The configured [`ServeConfig::queue_capacity`].
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The request was admitted but the server shut down before serving it.
+    Cancelled,
+    /// The wave executing this request failed in the engine (including the
+    /// pool-death path: every worker thread gone).
+    Engine {
+        /// The underlying machine error.
+        error: MachineError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config { detail } => write!(f, "invalid serve config: {detail}"),
+            ServeError::UnknownModel { detail } => write!(f, "unknown model: {detail}"),
+            ServeError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Cancelled => write!(f, "request cancelled by server shutdown"),
+            ServeError::Engine { error } => write!(f, "wave execution failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Admission-layer tuning of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one [`InferenceEngine::execute_batch`]
+    /// wave (≥ 1; 1 disables batching — serial per-request dispatch).
+    pub max_batch: usize,
+    /// The latency budget a wave leader waits for same-model company before
+    /// dispatching. Larger budgets trade first-request latency for bigger
+    /// waves; `Duration::ZERO` dispatches whatever is already queued.
+    pub batch_window: Duration,
+    /// Bound of the admission queue (≥ 1). A full queue rejects submissions
+    /// with [`ServeError::QueueFull`] instead of blocking the client.
+    pub queue_capacity: usize,
+    /// Most [`CompiledNetwork`] artifacts resident at once (≥ 1). The
+    /// least-recently-used artifact is evicted beyond this; evicted models
+    /// recompile transparently on their next wave.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: 256,
+            plan_cache_capacity: 4,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the bounds.
+    fn validate(&self) -> Result<(), ServeError> {
+        for (label, value) in [
+            ("max_batch", self.max_batch),
+            ("queue_capacity", self.queue_capacity),
+            ("plan_cache_capacity", self.plan_cache_capacity),
+        ] {
+            if value == 0 {
+                return Err(ServeError::Config {
+                    detail: format!("{label} must be at least 1"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A model registered with a [`Server`] — cheap to copy, valid only for the
+/// issuing server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelHandle {
+    server: u64,
+    index: usize,
+}
+
+/// One admitted request waiting in the queue.
+struct Request {
+    model: usize,
+    input: Tensor,
+    submitted: Instant,
+    reply: Sender<Result<Response, ServeError>>,
+}
+
+/// The response carried by a resolved [`Ticket`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Name of the model that served the request.
+    pub model: String,
+    /// The inference output — bit-identical to a fresh
+    /// [`GanaxMachine::execute_network`](crate::GanaxMachine::execute_network)
+    /// of the same input, whatever wave the request rode in.
+    pub output: Tensor,
+    /// Identifier of the wave that served this request (1-based, per server).
+    pub wave: u64,
+    /// Requests coalesced into that wave (1 = served solo).
+    pub wave_size: usize,
+    /// Seconds the request waited between submission and wave dispatch.
+    pub queue_seconds: f64,
+    /// Wall-clock seconds of the wave's batched execution.
+    pub exec_seconds: f64,
+    /// Planning seconds charged to this request's wave: `0.0` when the plan
+    /// cache was hit (the warm steady state), the recompile cost after an
+    /// eviction round-trip otherwise.
+    pub plan_seconds: f64,
+    /// End-to-end seconds from submission to resolution.
+    pub latency_seconds: f64,
+}
+
+/// The asynchronous receipt for one submitted request.
+///
+/// A ticket resolves exactly once — with the [`Response`], or with a typed
+/// [`ServeError`] (cancellation on shutdown, a wave failure). Resolution is
+/// guaranteed by construction: if the server (or its batcher) goes away
+/// without replying, the channel disconnects and the ticket reports
+/// [`ServeError::Cancelled`] instead of hanging.
+pub struct Ticket {
+    model: String,
+    rx: Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Name of the model the request was submitted against.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Non-blocking check: `None` while the request is still queued or
+    /// executing, `Some(result)` once resolved. After the resolution has
+    /// been taken (by any method), later calls report
+    /// [`ServeError::Cancelled`].
+    pub fn poll(&self) -> Option<Result<Response, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServeError::Cancelled)),
+        }
+    }
+
+    /// Blocks until the ticket resolves.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Cancelled))
+    }
+
+    /// Blocks up to `timeout`: `None` when the request is still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Cancelled)),
+        }
+    }
+}
+
+/// Aggregate activity of a [`Server`] since construction (a consistent
+/// snapshot from [`Server::stats`]).
+///
+/// Counter conservation is a serving invariant: `counts`, `busy_pe_cycles`
+/// and `work_units` equal the sums a fresh
+/// [`GanaxMachine::execute_network`](crate::GanaxMachine::execute_network)
+/// would have produced per completed request, because batched waves aggregate
+/// exactly the per-element activity (the PR 5 property) — the stress suite
+/// asserts this.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Submissions rejected with [`ServeError::QueueFull`].
+    pub rejected: u64,
+    /// Requests completed with a [`Response`].
+    pub completed: u64,
+    /// Admitted requests cancelled by shutdown.
+    pub cancelled: u64,
+    /// Admitted requests that failed in the engine.
+    pub failed: u64,
+    /// Waves dispatched.
+    pub waves: u64,
+    /// Requests that rode in a wave of size ≥ 2.
+    pub batched_requests: u64,
+    /// Largest wave dispatched.
+    pub max_wave: usize,
+    /// Artifacts compiled (registration, cache misses, eviction round-trips).
+    pub plan_builds: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Artifacts evicted from the plan cache.
+    pub cache_evictions: u64,
+    /// Seconds spent planning across all builds.
+    pub plan_seconds: f64,
+    /// Busy PE cycles aggregated over every completed wave.
+    pub busy_pe_cycles: u64,
+    /// Work units aggregated over every completed wave.
+    pub work_units: u64,
+    /// Activity counters aggregated over every completed wave.
+    pub counts: EventCounts,
+}
+
+impl ServeStats {
+    /// Mean requests per dispatched wave.
+    pub fn mean_wave(&self) -> f64 {
+        if self.waves == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.waves as f64
+    }
+
+    /// Energy of the aggregated activity under a Table II model.
+    pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
+        model.energy(&self.counts)
+    }
+}
+
+/// One registered model: everything needed to (re)compile its plan after an
+/// eviction round-trip.
+struct ModelEntry {
+    name: String,
+    network: Network,
+    weights: NetworkWeights,
+    input_shape: Shape,
+    fingerprint: u64,
+}
+
+/// One resident artifact of the plan cache.
+struct CacheSlot {
+    key: (u64, u64),
+    artifact: Arc<CompiledNetwork>,
+    last_used: u64,
+}
+
+/// The LRU plan cache: a handful of resident [`CompiledNetwork`]s, so a
+/// linear scan beats any map. `tick` is the LRU clock.
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    slots: Vec<CacheSlot>,
+}
+
+/// The admission queue shared between clients and the batcher.
+#[derive(Default)]
+struct AdmissionQueue {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// Everything the server's clients and batcher share.
+struct ServerShared {
+    id: u64,
+    engine: InferenceEngine,
+    config: ServeConfig,
+    config_fingerprint: u64,
+    models: Mutex<Vec<Arc<ModelEntry>>>,
+    queue: Mutex<AdmissionQueue>,
+    arrivals: Condvar,
+    cache: Mutex<PlanCache>,
+    stats: Mutex<ServeStats>,
+}
+
+impl ServerShared {
+    /// Fetches the model's compiled artifact from the plan cache, compiling
+    /// (and possibly evicting the least-recently-used resident) on a miss.
+    /// Returns the artifact plus the planning seconds paid *now* (0.0 on a
+    /// hit — the warm path).
+    fn plan_for(&self, entry: &ModelEntry) -> Result<(Arc<CompiledNetwork>, f64), MachineError> {
+        let key = (entry.fingerprint, self.config_fingerprint);
+        let (artifact, plan_seconds, evictions, hit) = {
+            let mut cache = self.cache.lock().expect("plan cache lock");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(slot) = cache.slots.iter_mut().find(|slot| slot.key == key) {
+                slot.last_used = tick;
+                (Arc::clone(&slot.artifact), 0.0, 0u64, true)
+            } else {
+                let compiled = Arc::new(CompiledNetwork::compile(
+                    self.engine.machine(),
+                    &entry.network,
+                    &entry.weights,
+                )?);
+                let plan_seconds = compiled.plan_seconds();
+                cache.slots.push(CacheSlot {
+                    key,
+                    artifact: Arc::clone(&compiled),
+                    last_used: tick,
+                });
+                let mut evictions = 0u64;
+                while cache.slots.len() > cache.capacity {
+                    let oldest = cache
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, slot)| slot.last_used)
+                        .map(|(i, _)| i)
+                        .expect("cache is non-empty");
+                    cache.slots.remove(oldest);
+                    evictions += 1;
+                }
+                (compiled, plan_seconds, evictions, false)
+            }
+        };
+        let mut stats = self.stats.lock().expect("stats lock");
+        if hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.plan_builds += 1;
+            stats.plan_seconds += plan_seconds;
+            stats.cache_evictions += evictions;
+        }
+        drop(stats);
+        Ok((artifact, plan_seconds))
+    }
+
+    /// Resolves a batch of drained requests with [`ServeError::Cancelled`].
+    fn cancel(&self, requests: impl IntoIterator<Item = Request>) {
+        let mut cancelled = 0u64;
+        for request in requests {
+            let _ = request.reply.send(Err(ServeError::Cancelled));
+            cancelled += 1;
+        }
+        if cancelled > 0 {
+            self.stats.lock().expect("stats lock").cancelled += cancelled;
+        }
+    }
+}
+
+/// The async serving front-end: one [`InferenceEngine`] pool, many resident
+/// models, many concurrent clients. See the [module docs](self).
+///
+/// The server is `Sync`: share it across client threads by reference (or
+/// `Arc`) and call [`Server::submit`] / [`Server::run`] concurrently.
+/// Dropping it finishes the in-flight wave, cancels the queued remainder
+/// (typed, never hanging) and joins the batcher and pool.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds a server over an engine (taking ownership of its worker pool).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Config`] when a capacity or batch bound is zero.
+    pub fn new(engine: InferenceEngine, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let config_fingerprint = engine.machine().config().fingerprint();
+        let shared = Arc::new(ServerShared {
+            id: SERVER_IDS.fetch_add(1, Ordering::Relaxed),
+            engine,
+            config,
+            config_fingerprint,
+            models: Mutex::new(Vec::new()),
+            queue: Mutex::new(AdmissionQueue::default()),
+            arrivals: Condvar::new(),
+            cache: Mutex::new(PlanCache {
+                capacity: config.plan_cache_capacity,
+                tick: 0,
+                slots: Vec::new(),
+            }),
+            stats: Mutex::new(ServeStats::default()),
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared))
+        };
+        Ok(Server {
+            shared,
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The admission configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// The engine whose pool serves every model.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.shared.engine
+    }
+
+    /// Registers a model for serving: validates it by compiling its plan
+    /// (priming the plan cache) and returns the handle requests are submitted
+    /// against. Models may be registered at any time, including while other
+    /// models are being served.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Engine`] when the model does not compile for the
+    /// engine's configuration (mismatched weights, unsupported layers).
+    pub fn register(
+        &self,
+        network: &Network,
+        weights: &NetworkWeights,
+    ) -> Result<ModelHandle, ServeError> {
+        let entry = Arc::new(ModelEntry {
+            name: network.name().to_string(),
+            network: network.clone(),
+            weights: weights.clone(),
+            input_shape: network.input_shape(),
+            fingerprint: weights.fingerprint(network),
+        });
+        self.shared
+            .plan_for(&entry)
+            .map_err(|error| ServeError::Engine { error })?;
+        let mut models = self.shared.models.lock().expect("model registry lock");
+        models.push(entry);
+        Ok(ModelHandle {
+            server: self.shared.id,
+            index: models.len() - 1,
+        })
+    }
+
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.shared
+            .models
+            .lock()
+            .expect("model registry lock")
+            .len()
+    }
+
+    /// Looks a handle up, validating provenance.
+    fn entry(&self, model: ModelHandle) -> Result<Arc<ModelEntry>, ServeError> {
+        if model.server != self.shared.id {
+            return Err(ServeError::UnknownModel {
+                detail: "handle was issued by a different server".into(),
+            });
+        }
+        self.shared
+            .models
+            .lock()
+            .expect("model registry lock")
+            .get(model.index)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel {
+                detail: format!("model index {} out of range", model.index),
+            })
+    }
+
+    /// Submits one inference request — non-blocking admission.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::UnknownModel`] for a foreign handle,
+    /// [`ServeError::ShapeMismatch`] when the input does not match the
+    /// model, [`ServeError::QueueFull`] when the admission queue is at
+    /// capacity (backpressure — retry later), and
+    /// [`ServeError::ShuttingDown`] during shutdown.
+    pub fn submit(&self, model: ModelHandle, input: Tensor) -> Result<Ticket, ServeError> {
+        let entry = self.entry(model)?;
+        if input.shape() != entry.input_shape {
+            return Err(ServeError::ShapeMismatch {
+                detail: format!(
+                    "input {} != model `{}` input {}",
+                    input.shape(),
+                    entry.name,
+                    entry.input_shape
+                ),
+            });
+        }
+        let (reply, rx) = channel();
+        let admitted = {
+            let mut queue = self.shared.queue.lock().expect("admission queue lock");
+            if queue.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if queue.pending.len() >= self.shared.config.queue_capacity {
+                false
+            } else {
+                queue.pending.push_back(Request {
+                    model: model.index,
+                    input,
+                    submitted: Instant::now(),
+                    reply,
+                });
+                true
+            }
+        };
+        let mut stats = self.shared.stats.lock().expect("stats lock");
+        if admitted {
+            stats.submitted += 1;
+            drop(stats);
+            self.shared.arrivals.notify_all();
+            Ok(Ticket {
+                model: entry.name.clone(),
+                rx,
+            })
+        } else {
+            stats.rejected += 1;
+            Err(ServeError::QueueFull {
+                capacity: self.shared.config.queue_capacity,
+            })
+        }
+    }
+
+    /// Blocking convenience: submit and wait for the response.
+    ///
+    /// # Errors
+    /// As [`Server::submit`], plus any error the wave resolves the ticket
+    /// with.
+    pub fn run(&self, model: ModelHandle, input: Tensor) -> Result<Response, ServeError> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("admission queue lock")
+            .pending
+            .len()
+    }
+
+    /// Compiled artifacts currently resident in the plan cache.
+    pub fn resident_plans(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .expect("plan cache lock")
+            .slots
+            .len()
+    }
+
+    /// A consistent snapshot of the server's aggregate activity.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("admission queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.arrivals.notify_all();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+/// The batcher: the single thread that turns the admission queue into
+/// [`InferenceEngine::execute_batch`] waves.
+///
+/// Each iteration claims a wave leader, coalesces same-model requests up to
+/// the batch cap within the latency budget (other models stay queued, in
+/// order), and dispatches. On shutdown the in-flight wave completes and the
+/// queued remainder resolves with [`ServeError::Cancelled`].
+fn batcher_loop(shared: &Arc<ServerShared>) {
+    let mut wave_id = 0u64;
+    loop {
+        // Claim a wave leader — or drain and exit on shutdown.
+        let leader = {
+            let mut queue = shared.queue.lock().expect("admission queue lock");
+            loop {
+                if queue.shutdown {
+                    let drained = std::mem::take(&mut queue.pending);
+                    drop(queue);
+                    shared.cancel(drained);
+                    return;
+                }
+                if let Some(request) = queue.pending.pop_front() {
+                    break request;
+                }
+                queue = shared.arrivals.wait(queue).expect("admission queue lock");
+            }
+        };
+        let model = leader.model;
+        let mut wave = vec![leader];
+
+        // Coalesce: sweep waiting same-model requests, then wait out the
+        // remaining latency budget for more to arrive. Shutdown stops the
+        // wait but the claimed wave still executes.
+        let deadline = Instant::now() + shared.config.batch_window;
+        {
+            let mut queue = shared.queue.lock().expect("admission queue lock");
+            loop {
+                let mut i = 0;
+                while wave.len() < shared.config.max_batch && i < queue.pending.len() {
+                    if queue.pending[i].model == model {
+                        wave.push(queue.pending.remove(i).expect("index is in range"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                if wave.len() >= shared.config.max_batch || queue.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .arrivals
+                    .wait_timeout(queue, deadline - now)
+                    .expect("admission queue lock");
+                queue = guard;
+            }
+        }
+
+        wave_id += 1;
+        run_wave(shared, wave_id, model, wave);
+    }
+}
+
+/// Executes one coalesced wave and resolves its tickets.
+fn run_wave(shared: &ServerShared, wave_id: u64, model: usize, wave: Vec<Request>) {
+    let entry = {
+        let models = shared.models.lock().expect("model registry lock");
+        Arc::clone(&models[model])
+    };
+    let wave_start = Instant::now();
+    let mut inputs = Vec::with_capacity(wave.len());
+    let mut replies = Vec::with_capacity(wave.len());
+    for request in wave {
+        inputs.push(request.input);
+        replies.push((request.submitted, request.reply));
+    }
+
+    let fail = |error: MachineError, replies: Vec<(Instant, Sender<_>)>| {
+        shared.stats.lock().expect("stats lock").failed += replies.len() as u64;
+        for (_, reply) in replies {
+            let _ = reply.send(Err(ServeError::Engine {
+                error: error.clone(),
+            }));
+        }
+    };
+
+    let (artifact, plan_seconds) = match shared.plan_for(&entry) {
+        Ok(planned) => planned,
+        Err(error) => return fail(error, replies),
+    };
+    let batch = match shared.engine.execute_batch(&artifact, &inputs) {
+        Ok(batch) => batch,
+        Err(error) => return fail(error, replies),
+    };
+
+    {
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.waves += 1;
+        stats.completed += replies.len() as u64;
+        stats.max_wave = stats.max_wave.max(replies.len());
+        if replies.len() > 1 {
+            stats.batched_requests += replies.len() as u64;
+        }
+        stats.busy_pe_cycles += batch.busy_pe_cycles;
+        stats.work_units += batch.work_units;
+        stats.counts += batch.counts;
+    }
+    let wave_size = replies.len();
+    for ((submitted, reply), output) in replies.into_iter().zip(batch.outputs) {
+        let _ = reply.send(Ok(Response {
+            model: entry.name.clone(),
+            output,
+            wave: wave_id,
+            wave_size,
+            queue_seconds: wave_start
+                .saturating_duration_since(submitted)
+                .as_secs_f64(),
+            exec_seconds: batch.wall_seconds,
+            plan_seconds,
+            latency_seconds: submitted.elapsed().as_secs_f64(),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GanaxMachine;
+    use ganax_models::{Activation, NetworkBuilder};
+    use ganax_tensor::ConvParams;
+
+    fn toy_network(name: &str, mid_channels: usize) -> Network {
+        NetworkBuilder::new(name, Shape::new_2d(1, 4, 4))
+            .tconv(
+                "up",
+                mid_channels,
+                ConvParams::transposed_2d(4, 2, 1),
+                Activation::Relu,
+            )
+            .conv("smooth", 1, ConvParams::conv_2d(3, 1, 1), Activation::None)
+            .build()
+            .unwrap()
+    }
+
+    fn toy_weights(network: &Network, seed: u64) -> NetworkWeights {
+        let tensors = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Tensor::deterministic(NetworkWeights::expected_shape(l), seed + i as u64))
+            .collect();
+        NetworkWeights::new(network, tensors).unwrap()
+    }
+
+    fn toy_server(threads: usize, config: ServeConfig) -> Server {
+        Server::new(InferenceEngine::new(GanaxMachine::paper(), threads), config).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        for bad in [
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                plan_cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            let engine = InferenceEngine::new(GanaxMachine::paper(), 1);
+            assert!(matches!(
+                Server::new(engine, bad),
+                Err(ServeError::Config { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn serves_bit_identically_and_reports_warm_plans() {
+        let network = toy_network("toy-a", 2);
+        let weights = toy_weights(&network, 5);
+        let server = toy_server(2, ServeConfig::default());
+        let model = server.register(&network, &weights).unwrap();
+        let machine = GanaxMachine::paper();
+        for k in 0..3u64 {
+            let input = Tensor::deterministic(network.input_shape(), 40 + k);
+            let response = server.run(model, input.clone()).unwrap();
+            let fresh = machine
+                .execute_network_threaded(&network, &input, &weights, 2)
+                .unwrap();
+            assert_eq!(response.output, fresh.output, "request {k}");
+            assert_eq!(response.plan_seconds, 0.0, "registration primed the cache");
+            assert_eq!(response.model, "toy-a");
+            assert!(response.wave >= 1 && response.wave_size >= 1);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.plan_builds, 1, "one build at registration");
+        assert!(stats.cache_hits >= 3);
+    }
+
+    #[test]
+    fn rejects_foreign_handles_and_bad_shapes() {
+        let network = toy_network("toy-b", 1);
+        let weights = toy_weights(&network, 9);
+        let server = toy_server(1, ServeConfig::default());
+        let other = toy_server(1, ServeConfig::default());
+        let model = server.register(&network, &weights).unwrap();
+        assert!(matches!(
+            other.submit(model, Tensor::zeros(network.input_shape())),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            server.submit(model, Tensor::zeros(Shape::new_2d(2, 4, 4))),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn eviction_round_trips_recompile_transparently() {
+        let a = toy_network("toy-a", 1);
+        let b = toy_network("toy-b", 2);
+        let wa = toy_weights(&a, 11);
+        let wb = toy_weights(&b, 13);
+        let server = toy_server(
+            1,
+            ServeConfig {
+                plan_cache_capacity: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let ha = server.register(&a, &wa).unwrap();
+        let hb = server.register(&b, &wb).unwrap();
+        assert_eq!(server.resident_plans(), 1, "capacity-1 cache");
+        let machine = GanaxMachine::paper();
+        for k in 0..2u64 {
+            for (net, weights, handle) in [(&a, &wa, ha), (&b, &wb, hb)] {
+                let input = Tensor::deterministic(net.input_shape(), 60 + k);
+                let response = server.run(handle, input.clone()).unwrap();
+                let fresh = machine
+                    .execute_network_threaded(net, &input, weights, 1)
+                    .unwrap();
+                assert_eq!(response.output, fresh.output);
+            }
+        }
+        let stats = server.stats();
+        assert!(
+            stats.cache_evictions >= 3,
+            "alternating models through a capacity-1 cache must evict: {stats:?}"
+        );
+        assert!(stats.plan_builds >= 4, "evicted models recompile");
+    }
+}

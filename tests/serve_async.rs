@@ -1,0 +1,436 @@
+//! Concurrency stress suite for the async serving front-end ([`Server`]).
+//!
+//! Four properties pin the admission layer down:
+//!
+//! 1. **bit-identity under concurrency** — N client threads hammering M
+//!    resident models through one shared worker pool receive responses
+//!    bit-identical to fresh [`GanaxMachine::execute_network_threaded`]
+//!    calls, with zero warm planning and with the server's aggregated
+//!    [`EventCounts`] / busy cycles / energy equal to the sum of the
+//!    equivalent solo runs (wave coalescing changes *when* work runs, never
+//!    *what* it computes);
+//! 2. **coalescing == sequential** (proptest) — any interleaving of
+//!    submissions, coalesced into waves under any batch budget, pool size
+//!    and plan-cache capacity (eviction + recompile round-trips included),
+//!    yields outputs identical to sequential per-request execution;
+//! 3. **shutdown liveness** — dropping the server with tickets in flight
+//!    resolves every one of them (completed, or typed
+//!    [`ServeError::Cancelled`]), and a dead worker pool resolves tickets
+//!    with a typed [`ServeError::Engine`] through the engine's pool-death
+//!    timeout path — tickets never hang;
+//! 4. **bounded backpressure** — a saturated admission queue rejects with
+//!    [`ServeError::QueueFull`] instead of blocking, and the survivors are
+//!    still served bit-identically.
+
+use std::time::Duration;
+
+use ganax::serve::{ServeConfig, Server};
+use ganax::{GanaxMachine, InferenceEngine, NetworkWeights, ServeError};
+use ganax_bench::deterministic_tensor;
+use ganax_energy::{EnergyModel, EventCounts};
+use ganax_models::{Activation, Network, NetworkBuilder};
+use ganax_tensor::{ConvParams, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Generous bound for "resolves promptly" assertions — far above any toy
+/// wave, far below a hang.
+const RESOLVE_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn toy_network(name: &str, mid_channels: usize) -> Network {
+    NetworkBuilder::new(name, Shape::new_2d(1, 4, 4))
+        .tconv(
+            "up",
+            mid_channels,
+            ConvParams::transposed_2d(4, 2, 1),
+            Activation::Relu,
+        )
+        .conv("smooth", 1, ConvParams::conv_2d(3, 1, 1), Activation::None)
+        .build()
+        .expect("toy network builds")
+}
+
+fn toy_weights(network: &Network, seed: u64) -> NetworkWeights {
+    let tensors = network
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| deterministic_tensor(NetworkWeights::expected_shape(l), seed + i as u64))
+        .collect();
+    NetworkWeights::new(network, tensors).expect("weights match the network")
+}
+
+/// A small zoo of distinct resident models (distinct structure *and*
+/// distinct weights, so their fingerprints differ).
+fn toy_zoo(models: usize) -> Vec<(Network, NetworkWeights)> {
+    (0..models)
+        .map(|m| {
+            let network = toy_network(&format!("stress-{m}"), m + 1);
+            let weights = toy_weights(&network, 100 + 17 * m as u64);
+            (network, weights)
+        })
+        .collect()
+}
+
+fn input_for(network: &Network, seed: u64) -> Tensor {
+    deterministic_tensor(network.input_shape(), seed)
+}
+
+/// N client threads × M models hammer one server; every response must be
+/// bit-identical to a fresh solo execution, planning must be zero on every
+/// warm request, and the aggregated activity counters must be conserved.
+fn stress_pool(pool_threads: usize) {
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 3;
+    let zoo = toy_zoo(2);
+    let engine = InferenceEngine::new(GanaxMachine::paper(), pool_threads);
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            batch_window: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server builds");
+    let handles: Vec<_> = zoo
+        .iter()
+        .map(|(network, weights)| server.register(network, weights).expect("model registers"))
+        .collect();
+
+    // Hammer: each client submits its burst of tickets, then waits them all.
+    let served: Vec<(usize, u64, ganax::Response)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = &server;
+                let zoo = &zoo;
+                let handles = &handles;
+                scope.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let model = (c + r) % zoo.len();
+                        let seed = 1000 + 31 * c as u64 + 7 * r as u64;
+                        let input = input_for(&zoo[model].0, seed);
+                        let ticket = server
+                            .submit(handles[model], input)
+                            .expect("queue is far from capacity");
+                        tickets.push((model, seed, ticket));
+                    }
+                    tickets
+                        .into_iter()
+                        .map(|(model, seed, ticket)| {
+                            let response = ticket
+                                .wait_timeout(RESOLVE_TIMEOUT)
+                                .expect("ticket resolves promptly")
+                                .expect("request succeeds");
+                            (model, seed, response)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("client thread completes"))
+            .collect()
+    });
+
+    // Bit-identity + zero warm planning, request by request.
+    assert_eq!(served.len(), CLIENTS * REQUESTS_PER_CLIENT);
+    let machine = GanaxMachine::paper();
+    let mut expected_counts = EventCounts::default();
+    let mut expected_busy = 0u64;
+    let mut expected_work = 0u64;
+    for (model, seed, response) in &served {
+        let (network, weights) = &zoo[*model];
+        let input = input_for(network, *seed);
+        let fresh = machine
+            .execute_network_threaded(network, &input, weights, 1)
+            .expect("fresh run executes");
+        assert_eq!(
+            response.output, fresh.output,
+            "output diverged ({pool_threads} pool threads, model {model}, seed {seed})"
+        );
+        assert_eq!(
+            response.plan_seconds, 0.0,
+            "warm request planned ({pool_threads} pool threads)"
+        );
+        assert_eq!(response.model, network.name());
+        expected_counts += fresh.total_counts();
+        expected_busy += fresh.total_busy_pe_cycles();
+        expected_work += fresh.total_work_units();
+    }
+
+    // Conservation: the server's aggregate equals the sum of solo runs.
+    let stats = server.stats();
+    assert_eq!(stats.completed, served.len() as u64);
+    assert_eq!(stats.submitted, served.len() as u64);
+    assert_eq!(stats.counts, expected_counts, "EventCounts not conserved");
+    assert_eq!(
+        stats.busy_pe_cycles, expected_busy,
+        "busy cycles not conserved"
+    );
+    assert_eq!(stats.work_units, expected_work, "work units not conserved");
+    let energy = EnergyModel::table_ii();
+    assert_eq!(
+        stats.energy(&energy).total_pj(),
+        energy.energy(&expected_counts).total_pj(),
+        "energy not conserved"
+    );
+    assert_eq!(
+        stats.plan_builds,
+        zoo.len() as u64,
+        "exactly one plan build per registration — zero warm planning"
+    );
+    assert_eq!(stats.cancelled + stats.failed + stats.rejected, 0);
+    assert!(stats.waves >= 1 && stats.waves <= stats.completed);
+}
+
+#[test]
+fn stress_one_pool_thread() {
+    stress_pool(1);
+}
+
+#[test]
+fn stress_two_pool_threads() {
+    stress_pool(2);
+}
+
+#[test]
+fn stress_four_pool_threads() {
+    stress_pool(4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any interleaving of submissions, coalesced into waves under any batch
+    /// budget / pool size / cache capacity, equals sequential per-request
+    /// execution bit for bit — including eviction + recompile round-trips
+    /// when the cache is smaller than the working set.
+    #[test]
+    fn prop_coalesced_waves_equal_sequential(
+        pool_threads in 1usize..4,
+        max_batch in 1usize..6,
+        window_ms in 0u64..4,
+        cache_capacity in 1usize..4,
+        models in 1usize..4,
+        requests in 2usize..9,
+        seed in 0u64..1_000,
+    ) {
+        let zoo = toy_zoo(models);
+        let engine = InferenceEngine::new(GanaxMachine::paper(), pool_threads);
+        let server = Server::new(engine, ServeConfig {
+            max_batch,
+            batch_window: Duration::from_millis(window_ms),
+            plan_cache_capacity: cache_capacity,
+            ..ServeConfig::default()
+        }).expect("server builds");
+        let handles: Vec<_> = zoo
+            .iter()
+            .map(|(network, weights)| server.register(network, weights).expect("registers"))
+            .collect();
+
+        // A seed-driven interleaving of models across the submission burst.
+        let schedule: Vec<(usize, u64)> = (0..requests as u64)
+            .map(|r| (((seed + 7 * r) % models as u64) as usize, 5_000 + seed + 13 * r))
+            .collect();
+        let tickets: Vec<_> = schedule
+            .iter()
+            .map(|&(model, input_seed)| {
+                let input = input_for(&zoo[model].0, input_seed);
+                server.submit(handles[model], input).expect("queue has room")
+            })
+            .collect();
+
+        let machine = GanaxMachine::paper();
+        for (&(model, input_seed), ticket) in schedule.iter().zip(tickets) {
+            let response = ticket
+                .wait_timeout(RESOLVE_TIMEOUT)
+                .expect("ticket resolves")
+                .expect("request succeeds");
+            let (network, weights) = &zoo[model];
+            let input = input_for(network, input_seed);
+            let sequential = machine
+                .execute_network_threaded(network, &input, weights, 1)
+                .expect("sequential run executes");
+            prop_assert_eq!(
+                &response.output, &sequential.output,
+                "coalesced output diverged (model {}, seed {})", model, input_seed
+            );
+            prop_assert!(response.wave_size <= max_batch, "wave overflowed the cap");
+            if cache_capacity >= models {
+                prop_assert_eq!(response.plan_seconds, 0.0, "warm request planned");
+            }
+        }
+        let stats = server.stats();
+        prop_assert_eq!(stats.completed, requests as u64);
+        if cache_capacity < models && models > 1 {
+            // The working set cannot fit: the proptest sweep must exercise
+            // eviction round-trips somewhere; this case's stats stay sane.
+            prop_assert!(stats.plan_builds >= models as u64);
+        }
+    }
+}
+
+/// Dropping the server with tickets in flight resolves every one of them:
+/// the claimed wave completes, the queued remainder reports the typed
+/// cancellation — nothing hangs.
+#[test]
+fn shutdown_resolves_every_in_flight_ticket() {
+    let zoo = toy_zoo(2);
+    let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            // A long window keeps waves open so shutdown lands mid-flight.
+            batch_window: Duration::from_millis(250),
+            max_batch: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server builds");
+    let handles: Vec<_> = zoo
+        .iter()
+        .map(|(network, weights)| server.register(network, weights).expect("registers"))
+        .collect();
+
+    let submissions: Vec<(usize, u64, ganax::Ticket)> = (0..8u64)
+        .map(|r| {
+            let model = (r % 2) as usize;
+            let seed = 9_000 + r;
+            let ticket = server
+                .submit(handles[model], input_for(&zoo[model].0, seed))
+                .expect("queue has room");
+            (model, seed, ticket)
+        })
+        .collect();
+    drop(server);
+
+    let machine = GanaxMachine::paper();
+    let mut completed = 0usize;
+    let mut cancelled = 0usize;
+    for (model, seed, ticket) in submissions {
+        match ticket
+            .wait_timeout(RESOLVE_TIMEOUT)
+            .expect("shutdown resolves the ticket")
+        {
+            Ok(response) => {
+                let (network, weights) = &zoo[model];
+                let input = input_for(network, seed);
+                let fresh = machine
+                    .execute_network_threaded(network, &input, weights, 1)
+                    .expect("fresh run executes");
+                assert_eq!(response.output, fresh.output, "completed wave diverged");
+                completed += 1;
+            }
+            Err(ServeError::Cancelled) => cancelled += 1,
+            Err(other) => panic!("unexpected resolution: {other}"),
+        }
+    }
+    assert_eq!(
+        completed + cancelled,
+        8,
+        "every ticket resolved exactly once"
+    );
+}
+
+/// The engine's pool-death timeout path propagates through the async queue:
+/// a server over a killed worker pool resolves tickets with the typed
+/// [`ServeError::Engine`] error instead of hanging.
+#[test]
+fn dead_pool_resolves_tickets_with_typed_error() {
+    let (network, weights) = toy_zoo(1).pop().expect("one model");
+    let mut engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+    engine.shut_down_pool();
+    assert!(
+        !engine.pool_is_alive(),
+        "pool is down before serving starts"
+    );
+
+    // Registration still succeeds: planning is host-side.
+    let server = Server::new(engine, ServeConfig::default()).expect("server builds");
+    let model = server
+        .register(&network, &weights)
+        .expect("planning is host-side");
+
+    let ticket = server
+        .submit(model, input_for(&network, 42))
+        .expect("admission is independent of pool health");
+    match ticket
+        .wait_timeout(RESOLVE_TIMEOUT)
+        .expect("pool-death path resolves the ticket")
+    {
+        Err(ServeError::Engine { .. }) => {}
+        other => panic!("expected a typed engine error, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+/// A saturated admission queue rejects with the typed backpressure error
+/// instead of blocking, and the admitted survivors are still served
+/// bit-identically — no deadlock anywhere.
+#[test]
+fn queue_saturation_rejects_typed_and_recovers() {
+    let zoo = toy_zoo(2);
+    let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            queue_capacity: 3,
+            // A long window parks the model-0 wave leader so model-1 floods
+            // the bounded queue deterministically.
+            batch_window: Duration::from_millis(300),
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server builds");
+    let handles: Vec<_> = zoo
+        .iter()
+        .map(|(network, weights)| server.register(network, weights).expect("registers"))
+        .collect();
+
+    let leader = server
+        .submit(handles[0], input_for(&zoo[0].0, 1))
+        .expect("leader admits");
+    let mut admitted = Vec::new();
+    let mut rejected = 0usize;
+    for r in 0..6u64 {
+        let seed = 8_000 + r;
+        match server.submit(handles[1], input_for(&zoo[1].0, seed)) {
+            Ok(ticket) => admitted.push((seed, ticket)),
+            Err(ServeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 3);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    assert!(rejected >= 1, "the bounded queue must push back");
+    assert!(
+        admitted.len() >= 2,
+        "capacity admits a useful backlog: {} admitted",
+        admitted.len()
+    );
+    assert_eq!(server.stats().rejected, rejected as u64);
+
+    // Recovery: every admitted request resolves bit-identically.
+    let machine = GanaxMachine::paper();
+    leader
+        .wait_timeout(RESOLVE_TIMEOUT)
+        .expect("leader resolves")
+        .expect("leader succeeds");
+    for (seed, ticket) in admitted {
+        let response = ticket
+            .wait_timeout(RESOLVE_TIMEOUT)
+            .expect("survivor resolves")
+            .expect("survivor succeeds");
+        let (network, weights) = &zoo[1];
+        let input = input_for(network, seed);
+        let fresh = machine
+            .execute_network_threaded(network, &input, weights, 1)
+            .expect("fresh run executes");
+        assert_eq!(response.output, fresh.output, "survivor diverged");
+    }
+}
