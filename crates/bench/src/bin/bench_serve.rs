@@ -6,6 +6,7 @@
 //! cargo run --release -p ganax-bench --bin bench_serve -- --quick  # CI smoke
 //! cargo run --release -p ganax-bench --bin bench_serve -- --out path.json
 //! cargo run --release -p ganax-bench --bin bench_serve -- --threads 1,2,4 --batch 8
+//! cargo run --release -p ganax-bench --bin bench_serve -- --faults # fault sweep
 //! ```
 //!
 //! The report compares three ways of serving one request:
@@ -25,6 +26,13 @@
 //! dispatch versus serial per-request dispatch on same-sized pools — and
 //! records p50/p99 latency and throughput per rate.
 //!
+//! With `--faults`, the report additionally records the fault-tolerance
+//! sweep: the server absorbing seeded maskable fault schedules (NaN poison,
+//! worker panics, worker stalls) at increasing rates — every response still
+//! bit-identical to the fault-free baseline, with the throughput and p99
+//! degradation curve plus the recovery activity (retries, respawns,
+//! requeued shards) per rate.
+//!
 //! Every path is asserted bit-identical to the staged baseline before its
 //! timing is reported.
 
@@ -33,13 +41,14 @@ use ganax_bench::{cli_out_path, cli_thread_counts, cli_value, serve_bench};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let faults = args.iter().any(|a| a == "--faults");
     let out_path = cli_out_path(&args, "BENCH_serve.json");
     let thread_counts = cli_thread_counts(&args);
     let batch_size = cli_value(&args, "--batch")
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
 
-    let report = serve_bench(quick, &thread_counts, batch_size);
+    let report = serve_bench(quick, &thread_counts, batch_size, faults);
     println!(
         "{} ({} threads): cold {:.1} ms (plan {:.1} ms)  warm {:.1} ms  -> {:.2}x",
         report.network,
@@ -96,6 +105,22 @@ fn main() {
         "  offered-load peak: batched waves {:.2}x serial dispatch",
         report.offered_load_peak_speedup,
     );
+
+    for row in &report.fault_tolerance {
+        println!(
+            "  faults {:>7} ppm  p50 {:>9.1} ms  p99 {:>9.1} ms ({:.2}x clean)  {:.3} req/s ({:.2}x clean)  retries {} respawns {} requeued {}",
+            row.rate_ppm,
+            row.p50_latency_ms,
+            row.p99_latency_ms,
+            row.p99_vs_clean,
+            row.throughput_per_sec,
+            row.throughput_vs_clean,
+            row.retries,
+            row.respawns,
+            row.requeued_shards,
+        );
+        assert!(row.bit_identical, "fault-tolerance row lost bit-identity");
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("BENCH_serve.json is writable");

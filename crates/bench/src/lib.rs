@@ -21,7 +21,10 @@ use std::time::{Duration, Instant};
 use ganax::compare::{compare_all, geometric_mean, ModelComparison, SimulatedComparison};
 use ganax::serve::{ServeConfig, Server};
 use ganax::sweep::MachineSweepCell;
-use ganax::{DesignSummary, GanaxMachine, InferenceEngine, NetworkWeights, SweepCell, SweepSpec};
+use ganax::{
+    DesignSummary, FaultKind, FaultSpec, GanaxConfig, GanaxMachine, InferenceEngine,
+    NetworkWeights, SweepCell, SweepSpec,
+};
 use ganax_energy::EnergyCategory;
 use ganax_models::{zoo, Layer, Network};
 use ganax_tensor::{Shape, Tensor};
@@ -734,6 +737,43 @@ pub struct OfferedLoadRow {
     pub bit_identical: bool,
 }
 
+/// One fault-tolerance row of `BENCH_serve.json`: the async server serving a
+/// fixed burst of requests while the machine injects **maskable** faults
+/// (NaN poison, worker panics, worker stalls) at one seeded rate. Recovery
+/// is exercised end to end — retried waves, respawned workers, requeued
+/// shards — and every response is asserted bit-identical to the fault-free
+/// baseline before the row is recorded.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultToleranceRow {
+    /// Injection rate in faults per million candidate sites (0 = the clean
+    /// baseline row every other row is normalized against).
+    pub rate_ppm: u32,
+    /// Requests served (all completed — asserted; masked faults never
+    /// surface as failures).
+    pub requests: usize,
+    /// Wave retries the server spent absorbing detected faults.
+    pub retries: u64,
+    /// Workers the engine supervisor respawned after injected panics.
+    pub respawns: u64,
+    /// Shards requeued onto the pool after worker deaths.
+    pub requeued_shards: u64,
+    /// Median end-to-end latency (submit → resolve) in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Completed requests per second, first submission to last resolution.
+    pub throughput_per_sec: f64,
+    /// Throughput relative to the clean row — the degradation curve
+    /// (1.0 at rate 0, falling as the fault rate rises).
+    pub throughput_vs_clean: f64,
+    /// p99 latency relative to the clean row (1.0 at rate 0, rising with
+    /// the fault rate).
+    pub p99_vs_clean: f64,
+    /// Whether every response matched the fault-free baseline bit for bit
+    /// (asserted, so a recorded row always says `true`).
+    pub bit_identical: bool,
+}
+
 /// The serving benchmark report behind `BENCH_serve.json`: cold (uncompiled,
 /// pre-engine staged path) versus warm (cached-plan engine) single-inference
 /// latency, warm thread scaling, batched throughput, and an offered-load
@@ -791,6 +831,10 @@ pub struct ServeBenchReport {
     /// highest recorded arrival rate — the dynamic-batching payoff under
     /// saturation.
     pub offered_load_peak_speedup: f64,
+    /// Fault-tolerance sweep (`--faults`): throughput and tail-latency
+    /// degradation versus seeded fault rate, with recovery activity per
+    /// row. Empty when the sweep was not requested.
+    pub fault_tolerance: Vec<FaultToleranceRow>,
 }
 
 /// Runs the serving benchmark on the DCGAN generator (channel-capped at 64
@@ -801,7 +845,17 @@ pub struct ServeBenchReport {
 /// Every engine run is asserted bit-identical (output, busy cycles,
 /// counters) to the staged baseline before its timing is reported, and warm
 /// runs are asserted to perform zero planning.
-pub fn serve_bench(quick: bool, thread_counts: &[usize], batch_size: usize) -> ServeBenchReport {
+///
+/// With `faults`, the report additionally carries the fault-tolerance sweep
+/// ([`fault_tolerance_bench`]): the async server under seeded maskable
+/// fault schedules at increasing rates, recording the throughput and p99
+/// degradation curve.
+pub fn serve_bench(
+    quick: bool,
+    thread_counts: &[usize],
+    batch_size: usize,
+    faults: bool,
+) -> ServeBenchReport {
     let generator = zoo::dcgan().generator;
     let network = if quick {
         generator
@@ -929,6 +983,12 @@ pub fn serve_bench(quick: bool, thread_counts: &[usize], batch_size: usize) -> S
     let (offered_load, offered_load_peak_speedup) =
         offered_load_sweep(machine, &network, &weights, batch_threads);
 
+    let fault_tolerance = if faults {
+        fault_tolerance_bench(&network, &weights, batch_threads, quick)
+    } else {
+        Vec::new()
+    };
+
     ServeBenchReport {
         bench: "serve".to_string(),
         quick,
@@ -949,7 +1009,111 @@ pub fn serve_bench(quick: bool, thread_counts: &[usize], batch_size: usize) -> S
         batch_rows,
         offered_load,
         offered_load_peak_speedup,
+        fault_tolerance,
     }
+}
+
+/// The fault-injection rates of the fault-tolerance sweep, in faults per
+/// million candidate sites. Rate 0 is the clean baseline row.
+pub const FAULT_SWEEP_RATES_PPM: [u32; 3] = [0, 20_000, 100_000];
+
+/// Runs the fault-tolerance sweep behind `bench_serve --faults`: for each
+/// rate in [`FAULT_SWEEP_RATES_PPM`], a fresh async [`Server`] over a
+/// machine injecting seeded **maskable** faults (NaN poison, worker panics,
+/// worker stalls) serves the same burst of requests. The self-healing stack
+/// absorbs every fault — retried waves run on a clean epoch, panicked
+/// workers are respawned and their shards requeued — so every response is
+/// asserted bit-identical to the fault-free baseline and zero requests fail;
+/// the rows record what the absorption *costs* in throughput and p99.
+pub fn fault_tolerance_bench(
+    network: &Network,
+    weights: &NetworkWeights,
+    pool_threads: usize,
+    quick: bool,
+) -> Vec<FaultToleranceRow> {
+    let n = if quick { 6 } else { 10 };
+    let inputs: Vec<Tensor> = (0..n as u64)
+        .map(|i| deterministic_tensor(network.input_shape(), 70_001 + 31 * i))
+        .collect();
+    let probe = InferenceEngine::new(GanaxMachine::paper(), pool_threads);
+    let compiled = probe.compile(network, weights).expect("network compiles");
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|input| {
+            probe
+                .execute(&compiled, input)
+                .expect("baseline executes")
+                .output
+        })
+        .collect();
+    drop(probe);
+
+    let kinds = FaultKind::NAN_POISON | FaultKind::WORKER_PANIC | FaultKind::WORKER_STALL;
+    // Each detected-NaN retry advances the armed-site frontier by at least
+    // one layer, and a shard-requeue cap exhaustion can burn one more
+    // attempt — budget generously so masked faults never become failures.
+    let max_retries = network.layers().len() as u32 + 3;
+    let mut rows: Vec<FaultToleranceRow> = Vec::new();
+    for &rate_ppm in &FAULT_SWEEP_RATES_PPM {
+        let spec = FaultSpec::seeded(0xFA017 + rate_ppm as u64, rate_ppm, kinds);
+        let machine = GanaxMachine::new(
+            GanaxConfig::paper()
+                .with_fault(spec)
+                .expect("sweep spec is valid"),
+        );
+        let config = ServeConfig {
+            max_batch: 4,
+            batch_window: Duration::from_millis(2),
+            max_retries,
+            retry_backoff: Duration::from_millis(1),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(InferenceEngine::new(machine, pool_threads), config)
+            .expect("server builds");
+        let model = server
+            .register(network, weights)
+            .expect("the network registers");
+
+        let start = Instant::now();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|input| server.submit(model, input.clone()).expect("queue has room"))
+            .collect();
+        let mut latencies_ms = Vec::with_capacity(n);
+        for (ticket, expected) in tickets.into_iter().zip(&expected) {
+            let response = ticket.wait().expect("masked faults never fail requests");
+            assert_eq!(
+                &response.output, expected,
+                "a masked fault leaked into the output at {rate_ppm} ppm"
+            );
+            latencies_ms.push(response.latency_seconds * 1e3);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = server.stats();
+        assert_eq!(stats.failed, 0, "masked faults must not fail: {stats:?}");
+        assert_eq!(stats.completed, n as u64);
+        latencies_ms.sort_by(f64::total_cmp);
+        let throughput = n as f64 / elapsed;
+        let p99 = percentile(&latencies_ms, 0.99);
+        let (clean_throughput, clean_p99) = rows
+            .first()
+            .map(|clean: &FaultToleranceRow| (clean.throughput_per_sec, clean.p99_latency_ms))
+            .unwrap_or((throughput, p99));
+        rows.push(FaultToleranceRow {
+            rate_ppm,
+            requests: n,
+            retries: stats.retries,
+            respawns: stats.respawns,
+            requeued_shards: stats.requeued_shards,
+            p50_latency_ms: percentile(&latencies_ms, 0.50),
+            p99_latency_ms: p99,
+            throughput_per_sec: throughput,
+            throughput_vs_clean: throughput / clean_throughput,
+            p99_vs_clean: p99 / clean_p99,
+            bit_identical: true,
+        });
+    }
+    rows
 }
 
 /// Base seed of the offered-load input stream; request `i` of every

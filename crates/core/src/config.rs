@@ -32,7 +32,7 @@ use std::fmt;
 use ganax_dataflow::ArrayConfig;
 use ganax_energy::{AreaModel, EnergyModel};
 use ganax_eyeriss::AcceleratorConfig;
-use ganax_sim::PeConfig;
+use ganax_sim::{FaultSpec, PeConfig};
 use serde::{Deserialize, Serialize};
 
 /// A typed configuration-validation error ([`GanaxConfig::validate`]).
@@ -89,6 +89,12 @@ pub enum ConfigError {
         /// Which PE sizing is affected.
         pe: &'static str,
     },
+    /// The fault-injection schedule is malformed (unknown kind bits or a
+    /// rate above one million ppm).
+    InvalidFault {
+        /// What is wrong with the [`FaultSpec`].
+        detail: &'static str,
+    },
     /// JSON text could not be parsed into a config at all
     /// ([`GanaxConfig::from_json`]); distinct from the validation variants so
     /// callers can tell "malformed file" from "well-formed but invalid
@@ -137,6 +143,9 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptyAddrFifo { pe } => {
                 write!(f, "{pe} sizing has an empty address FIFO")
             }
+            ConfigError::InvalidFault { detail } => {
+                write!(f, "fault-injection spec is invalid: {detail}")
+            }
             ConfigError::Malformed { detail } => {
                 write!(f, "config JSON could not be parsed: {detail}")
             }
@@ -173,6 +182,11 @@ pub struct GanaxConfig {
     /// Area model (Table III). `area.num_pes` must match the array geometry;
     /// [`GanaxConfig::with_geometry`] keeps them in sync.
     pub area: AreaModel,
+    /// Seeded fault-injection schedule for the cycle-level machine
+    /// ([`FaultSpec`], default disabled). When armed, the machine and the
+    /// serving engine inject the scheduled faults deterministically — the
+    /// same seed reproduces the same corruption at any thread count.
+    pub fault: FaultSpec,
 }
 
 impl GanaxConfig {
@@ -183,6 +197,7 @@ impl GanaxConfig {
             pe: PeConfig::paper(),
             sim_pe: PeConfig::roomy(),
             area: AreaModel::table_iii(),
+            fault: FaultSpec::disabled(),
         }
     }
 
@@ -237,6 +252,16 @@ impl GanaxConfig {
         self.validated()
     }
 
+    /// Returns a copy with a different fault-injection schedule, validated.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError::InvalidFault`] when the spec's kind bits or
+    /// rate are out of range.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Result<Self, ConfigError> {
+        self.fault = fault;
+        self.validated()
+    }
+
     /// Checks every invariant the models rely on: non-empty array geometry,
     /// area/array agreement, a positive finite clock, sane energy constants
     /// and usable PE sizings.
@@ -287,6 +312,9 @@ impl GanaxConfig {
         }
         validate_pe(&self.pe, "pe")?;
         validate_pe(&self.sim_pe, "sim_pe")?;
+        self.fault
+            .validate()
+            .map_err(|detail| ConfigError::InvalidFault { detail })?;
         Ok(())
     }
 
@@ -510,6 +538,25 @@ mod tests {
             cfg.validate().unwrap_err(),
             ConfigError::EmptyAddrFifo { pe: "pe" }
         );
+    }
+
+    #[test]
+    fn invalid_fault_specs_are_rejected() {
+        use ganax_sim::{FaultKind, FaultSpec};
+
+        let mut bad = FaultSpec::disabled();
+        bad.kinds = FaultKind::ALL << 1;
+        assert!(matches!(
+            GanaxConfig::paper().with_fault(bad).unwrap_err(),
+            ConfigError::InvalidFault { .. }
+        ));
+
+        let armed = FaultSpec::seeded(7, 1_000, FaultKind::ALL);
+        let cfg = GanaxConfig::paper().with_fault(armed).unwrap();
+        assert_eq!(cfg.fault, armed);
+        // An armed schedule changes the fingerprint: plans built under
+        // faults are never served as fault-free (and vice versa).
+        assert_ne!(cfg.fingerprint(), GanaxConfig::paper().fingerprint());
     }
 
     #[test]

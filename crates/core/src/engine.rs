@@ -23,6 +23,15 @@
 //! the same per-dispatch programs, it only reorders *which* dispatch runs
 //! when and keeps more operands resident between dispatches.
 //!
+//! The pool is **supervised**: every worker body runs under
+//! [`std::panic::catch_unwind`], a panicking worker reports a typed
+//! [`MachineError::WorkerPanic`] for its shard and terminates, and the
+//! dispatcher respawns a replacement (never after
+//! [`InferenceEngine::shut_down_pool`]) and requeues the lost shard — so a
+//! mid-batch worker crash completes bit-identically, it never hangs and never
+//! poisons the queue. Fault injection ([`ganax_sim::FaultSpec`] on the
+//! machine's configuration) drives exactly this machinery on purpose.
+//!
 //! # Example
 //!
 //! ```
@@ -53,20 +62,22 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ganax_energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use ganax_isa::ExecUop;
 use ganax_models::{Layer, LayerOp, Network};
-use ganax_sim::ProcessingEngine;
+use ganax_sim::{EmitFault, FaultInjector, ProcessingEngine, WorkerFault, STALL_MILLIS};
 use ganax_tensor::Tensor;
 
 use crate::machine::{
-    chunk_group_max, gather_chunk_input, load_chunk_weights, retire_chunk_group, GanaxMachine,
-    MachineError, PlannedLayer,
+    chunk_group_max, dispatch_ordinal_base, gather_chunk_input, load_chunk_weights,
+    retire_chunk_group, GanaxMachine, MachineError, PlannedLayer, ShardFaults,
 };
 use crate::network::{
     finish_layer_output, host_projection, LayerExecution, NetworkExecution, NetworkWeights,
@@ -226,15 +237,38 @@ impl BatchExecution {
     }
 }
 
+/// Times one shard may execute (the first attempt plus requeues after worker
+/// panics) before its [`MachineError::WorkerPanic`] becomes final. A
+/// `persistent` worker-panic fault fires on every attempt, so a hard fault
+/// exhausts this cap and surfaces as a typed error instead of looping.
+const MAX_SHARD_ATTEMPTS: u32 = 3;
+
+/// Locks a mutex, recovering the guard from a poisoned lock. Pool state is
+/// written only under short, panic-free critical sections; a poisoned lock
+/// here means a *worker* panicked while holding it mid-`push`/`pop`, and the
+/// queue itself (a [`VecDeque`] of owned tasks) is still structurally sound —
+/// so the serving stack keeps running instead of cascading panics through
+/// every thread that touches the pool.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A unit of PE-array work handed to the pool: one shard of output rows of
 /// one layer, executed for every inference in the batch.
 struct ShardTask {
     /// Index of this task within its dispatch wave.
     task_id: usize,
+    /// The dispatch wave this task belongs to, so an abandoned wave can purge
+    /// its queued tasks when the pool dies.
+    wave: u64,
     /// The layer being executed.
     layer: Arc<Layer>,
     /// The layer's cached plan.
     plan: Arc<PlannedLayer>,
+    /// The network-level index of the layer (the fault `layer` coordinate).
+    layer_index: usize,
+    /// The engine's fault injector, shared so every worker sees one fired-map.
+    injector: Arc<FaultInjector>,
     /// Current input feature maps, one per batch element.
     inputs: Arc<Vec<Arc<Tensor>>>,
     /// Output rows (`oy` values) this shard owns, ascending.
@@ -275,18 +309,24 @@ struct PoolShared {
 
 impl PoolShared {
     fn recycle(&self, buffer: Vec<f32>) {
-        self.buffers.lock().expect("buffer pool lock").push(buffer);
+        lock_unpoisoned(&self.buffers).push(buffer);
     }
 }
 
 /// The long-lived body of one pool worker: pop shard tasks until shutdown,
 /// keeping one [`ProcessingEngine`] resident and resetting it in place
 /// between tasks instead of reconstructing it.
+///
+/// The shard execution runs under [`catch_unwind`]: a panic (injected or
+/// genuine) drops the resident PE — it may be mid-dispatch with inconsistent
+/// µ-engine state — reports a typed [`MachineError::WorkerPanic`] for the
+/// shard, and **terminates the worker**, modelling a crashed core. The
+/// dispatcher's supervisor respawns a replacement and requeues the shard.
 fn worker_loop(shared: Arc<PoolShared>) {
     let mut resident: Option<ProcessingEngine> = None;
     loop {
         let task = {
-            let mut state = shared.state.lock().expect("pool lock");
+            let mut state = lock_unpoisoned(&shared.state);
             loop {
                 if let Some(task) = state.tasks.pop_front() {
                     break Some(task);
@@ -294,40 +334,55 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 if state.shutdown {
                     break None;
                 }
-                state = shared.available.wait(state).expect("pool lock");
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(task) = task else { return };
         let config = task.plan.pe_config;
-        let pe = match resident.as_mut() {
-            Some(pe) if pe.config() == config => {
-                pe.reset();
-                pe
+        let mut buffer = lock_unpoisoned(&shared.buffers).pop().unwrap_or_default();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let pe = match resident.as_mut() {
+                Some(pe) if pe.config() == config => {
+                    pe.reset();
+                    pe
+                }
+                _ => resident.insert(ProcessingEngine::new(config)),
+            };
+            run_resident_shard(&task, pe, &mut buffer)
+        }));
+        match outcome {
+            Ok(Ok((busy_pe_cycles, counts, work_units))) => {
+                let _ = task.reply.send(TaskReply {
+                    task_id: task.task_id,
+                    result: Ok(ShardOutput {
+                        buffer,
+                        busy_pe_cycles,
+                        counts,
+                        work_units,
+                    }),
+                });
             }
-            _ => resident.insert(ProcessingEngine::new(config)),
-        };
-        let mut buffer = shared
-            .buffers
-            .lock()
-            .expect("buffer pool lock")
-            .pop()
-            .unwrap_or_default();
-        let result = match run_resident_shard(&task, pe, &mut buffer) {
-            Ok((busy_pe_cycles, counts, work_units)) => Ok(ShardOutput {
-                buffer,
-                busy_pe_cycles,
-                counts,
-                work_units,
-            }),
-            Err(error) => {
+            Ok(Err(error)) => {
                 shared.recycle(buffer);
-                Err(error)
+                let _ = task.reply.send(TaskReply {
+                    task_id: task.task_id,
+                    result: Err(error),
+                });
             }
-        };
-        let _ = task.reply.send(TaskReply {
-            task_id: task.task_id,
-            result,
-        });
+            Err(_) => {
+                shared.recycle(buffer);
+                let _ = task.reply.send(TaskReply {
+                    task_id: task.task_id,
+                    result: Err(MachineError::WorkerPanic {
+                        layer: task.layer.name.clone(),
+                    }),
+                });
+                return;
+            }
+        }
     }
 }
 
@@ -363,6 +418,27 @@ fn run_resident_shard(
     buffer.clear();
     buffer.resize(elements * rows.len() * row_stride, 0.0);
 
+    let faults = ShardFaults {
+        injector: &task.injector,
+        layer_index: task.layer_index,
+    };
+    // Worker-fault sites are keyed `(layer, row)` — decide them for every row
+    // the shard owns before any work, exactly as the per-layer path does. A
+    // panic here is genuine: it unwinds into the worker's `catch_unwind` so
+    // supervision, respawn and requeue are exercised for real.
+    for &oy in rows {
+        match faults.worker_fault(oy) {
+            Some(WorkerFault::Panic) => panic!(
+                "injected worker panic (layer `{}`, output row {oy})",
+                layer.name
+            ),
+            Some(WorkerFault::Stall) => {
+                std::thread::sleep(Duration::from_millis(STALL_MILLIS));
+            }
+            None => {}
+        }
+    }
+
     let max_pairs = pe_config.uop_fifo_entries / 2;
     let uop_buf: Vec<ExecUop> = [ExecUop::Repeat, ExecUop::Mac].repeat(max_pairs);
     let mut load_words = 0u64;
@@ -385,8 +461,9 @@ fn run_resident_shard(
         }
         for ci in 0..ci_count {
             work_units += instances.len() as u64 * co_count as u64;
-            for chunk in &plan.chunks {
+            for (chunk_idx, chunk) in plan.chunks.iter().enumerate() {
                 let stream = chunk.taps * chunk.cols;
+                let dispatch_base = dispatch_ordinal_base(plan, layer, ky, ci, chunk_idx);
                 // A block is bounded by the input scratchpad *and* by u16
                 // generator addressing: every resident stream's window
                 // (`input_base + stream`) must stay below 2^16, or the
@@ -397,14 +474,11 @@ fn run_resident_shard(
                     .max(1);
                 for block in instances.chunks(block_cap) {
                     pe.load_input_with(block.len() * stream, |buf| {
-                        for (b, &(e, _slot, iy)) in block.iter().enumerate() {
+                        for (b, &(e, slot, iy)) in block.iter().enumerate() {
                             let input_row = task.inputs[e].row_2d(ci, iy);
-                            gather_chunk_input(
-                                plan,
-                                chunk,
-                                input_row,
-                                &mut buf[b * stream..(b + 1) * stream],
-                            );
+                            let sub = &mut buf[b * stream..(b + 1) * stream];
+                            gather_chunk_input(plan, chunk, input_row, sub);
+                            faults.corrupt_input_stream(rows[slot], dispatch_base, sub);
                         }
                     });
                     load_words += (block.len() * stream) as u64;
@@ -413,8 +487,18 @@ fn run_resident_shard(
                     let mut co0 = 0;
                     while co0 < co_count {
                         let group = group_max.min(co_count - co0);
-                        load_words +=
-                            load_chunk_weights(pe, plan, chunk, stream, group, co0, ci, ky);
+                        load_words += load_chunk_weights(
+                            pe,
+                            plan,
+                            chunk,
+                            stream,
+                            group,
+                            co0,
+                            ci,
+                            ky,
+                            faults,
+                            dispatch_base + co0 as u64,
+                        );
                         for (b, &(e, slot, _iy)) in block.iter().enumerate() {
                             let base = (e * rows.len() + slot) * row_stride;
                             retire_chunk_group(
@@ -428,9 +512,25 @@ fn run_resident_shard(
                                 |k, slots| {
                                     let row = &mut buffer[base + (co0 + k) * width..][..width];
                                     let mut ox = chunk.ox_start;
-                                    for &value in slots {
-                                        row[ox] += value;
-                                        ox += chunk.col_step;
+                                    match faults.emit_fault(
+                                        rows[slot],
+                                        dispatch_base + co0 as u64,
+                                        co0 + k,
+                                    ) {
+                                        Some(EmitFault::StuckLane | EmitFault::DroppedUop) => {}
+                                        Some(EmitFault::DuplicatedUop) => {
+                                            for &value in slots {
+                                                row[ox] += value;
+                                                row[ox] += value;
+                                                ox += chunk.col_step;
+                                            }
+                                        }
+                                        None => {
+                                            for &value in slots {
+                                                row[ox] += value;
+                                                ox += chunk.col_step;
+                                            }
+                                        }
                                     }
                                 },
                             )?;
@@ -457,7 +557,19 @@ pub struct InferenceEngine {
     machine: GanaxMachine,
     threads: usize,
     shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
+    /// Live worker handles, behind a lock so the dispatcher can reap and
+    /// respawn crashed workers from `&self`.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// The engine-owned realization of the machine's fault schedule; one
+    /// injector (one fired-map) shared by every worker and every wave, with
+    /// its epoch advanced per `execute`/`execute_batch` call.
+    injector: Arc<FaultInjector>,
+    /// Workers respawned after a crash, over the engine's lifetime.
+    respawns: AtomicU64,
+    /// Shards requeued after their worker panicked mid-task.
+    requeued_shards: AtomicU64,
+    /// Monotonic dispatch-wave id, used to purge an abandoned wave's tasks.
+    wave_counter: AtomicU64,
 }
 
 impl InferenceEngine {
@@ -479,7 +591,11 @@ impl InferenceEngine {
             machine,
             threads,
             shared,
-            handles,
+            handles: Mutex::new(handles),
+            injector: Arc::new(FaultInjector::new(machine.config().fault)),
+            respawns: AtomicU64::new(0),
+            requeued_shards: AtomicU64::new(0),
+            wave_counter: AtomicU64::new(0),
         }
     }
 
@@ -498,13 +614,78 @@ impl InferenceEngine {
 
     /// Whether the worker pool can still execute dispatches: at least one
     /// worker thread is alive. `false` after [`InferenceEngine::shut_down_pool`]
-    /// or if every worker died (a panic mid-task).
+    /// or if every worker died (a panic mid-task) before the supervisor
+    /// respawned replacements.
     pub fn pool_is_alive(&self) -> bool {
-        !self.handles.is_empty()
-            && !self
-                .handles
-                .iter()
-                .all(std::thread::JoinHandle::is_finished)
+        let handles = lock_unpoisoned(&self.handles);
+        !handles.is_empty() && !handles.iter().all(std::thread::JoinHandle::is_finished)
+    }
+
+    /// Workers respawned by the supervisor after crashes, over the engine's
+    /// lifetime.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Shards requeued after their worker panicked mid-task, over the
+    /// engine's lifetime.
+    pub fn requeued_shards(&self) -> u64 {
+        self.requeued_shards.load(Ordering::Relaxed)
+    }
+
+    /// Faults the engine's injector has fired so far (0 when the machine's
+    /// [`FaultSpec`](ganax_sim::FaultSpec) is disabled).
+    pub fn injected_faults(&self) -> u64 {
+        self.injector.injected_faults()
+    }
+
+    /// Joins and removes every finished worker handle.
+    fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let handle = handles.swap_remove(i);
+                let _ = handle.join();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Reaps finished worker handles and — unless the pool has been shut
+    /// down — respawns replacements up to the pool's target size, counting
+    /// each respawn. Returns the number of live workers afterwards.
+    fn supervise_pool(&self) -> usize {
+        let shutdown = lock_unpoisoned(&self.shared.state).shutdown;
+        let mut handles = lock_unpoisoned(&self.handles);
+        Self::reap_finished(&mut handles);
+        if shutdown {
+            return handles.len();
+        }
+        while handles.len() < self.threads {
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || worker_loop(shared)));
+            self.respawns.fetch_add(1, Ordering::Relaxed);
+        }
+        handles.len()
+    }
+
+    /// Spawns exactly one replacement worker in response to a
+    /// [`MachineError::WorkerPanic`] reply — a reliable death notice: the
+    /// worker sends it and immediately terminates, though its handle may not
+    /// test as finished yet. Reaps whatever already has; a briefly
+    /// over-length handle list (one dying worker plus its replacement)
+    /// shrinks back on the next reap. Never respawns after shutdown.
+    fn replace_crashed_worker(&self) {
+        let shutdown = lock_unpoisoned(&self.shared.state).shutdown;
+        let mut handles = lock_unpoisoned(&self.handles);
+        Self::reap_finished(&mut handles);
+        if shutdown {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        handles.push(std::thread::spawn(move || worker_loop(shared)));
+        self.respawns.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Shuts the worker pool down in place and joins every worker, leaving
@@ -512,18 +693,20 @@ impl InferenceEngine {
     ///
     /// This is the pool-death fault-injection hook: the serving stack must
     /// stay *live* when the pool dies, so after this call any dispatch
-    /// resolves with a typed [`MachineError`] through the same timeout path
-    /// that guards against mid-task worker panics — it must never hang. The
-    /// async front-end's liveness tests ([`crate::serve`]) drive this
-    /// directly. Workers drain tasks already queued before exiting; calling
-    /// this between requests (no tasks in flight) is deterministic.
+    /// resolves with a typed [`MachineError::PoolUnavailable`] through the
+    /// same timeout path that guards against mid-task worker panics — it must
+    /// never hang, and the supervisor never resurrects a deliberately
+    /// shut-down pool. The async front-end's liveness tests ([`crate::serve`])
+    /// drive this directly. Workers drain tasks already queued before
+    /// exiting; calling this between requests (no tasks in flight) is
+    /// deterministic.
     pub fn shut_down_pool(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.available.notify_all();
-        for handle in self.handles.drain(..) {
+        for handle in lock_unpoisoned(&self.handles).drain(..) {
             let _ = handle.join();
         }
     }
@@ -581,6 +764,11 @@ impl InferenceEngine {
             });
         }
         let start = Instant::now();
+        // One execution = one fault epoch: non-persistent corruption armed in
+        // this epoch fires deterministically here, and a *retry* (the next
+        // epoch) runs clean — transient-fault semantics the serving layer's
+        // retry path relies on.
+        self.injector.begin_epoch();
         let mut reports = Vec::with_capacity(compiled.layers.len());
         let mut current = Arc::new(input.clone());
         for (i, layer) in compiled.network.layers().iter().enumerate() {
@@ -589,6 +777,7 @@ impl InferenceEngine {
                 CompiledLayer::Host => {
                     let mut out = host_projection(layer, &current, compiled.weights.weight(i))?;
                     finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                    check_finite(&layer.name, &out)?;
                     current = Arc::new(out);
                     reports.push(LayerExecution {
                         name: layer.name.clone(),
@@ -606,9 +795,13 @@ impl InferenceEngine {
                     plan,
                 } => {
                     let inputs = Arc::new(vec![Arc::clone(&current)]);
-                    let run = self.run_layer(shared, plan, inputs)?;
+                    let run = self.run_layer(shared, plan, i, inputs)?;
                     let mut outputs = run.outputs;
-                    let mut out = outputs.pop().expect("single-element batch");
+                    let Some(mut out) = outputs.pop() else {
+                        return Err(MachineError::PoolUnavailable {
+                            detail: "single-element batch produced no output".into(),
+                        });
+                    };
                     let max_shard = run.shard_busy.iter().copied().max().unwrap_or(0);
                     let balance = if max_shard == 0 {
                         1.0
@@ -616,6 +809,7 @@ impl InferenceEngine {
                         run.busy_pe_cycles as f64 / (run.shard_busy.len() as u64 * max_shard) as f64
                     };
                     finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                    check_finite(&layer.name, &out)?;
                     current = Arc::new(out);
                     reports.push(LayerExecution {
                         name: layer.name.clone(),
@@ -677,6 +871,9 @@ impl InferenceEngine {
             }
         }
         let start = Instant::now();
+        // One batch = one fault epoch (see `execute`): a retried batch runs
+        // clean of non-persistent corruption.
+        self.injector.begin_epoch();
         let mut currents: Vec<Arc<Tensor>> = inputs.iter().map(|t| Arc::new(t.clone())).collect();
         let mut busy_pe_cycles = 0u64;
         let mut counts = EventCounts::default();
@@ -687,6 +884,7 @@ impl InferenceEngine {
                     for current in currents.iter_mut() {
                         let mut out = host_projection(layer, current, compiled.weights.weight(i))?;
                         finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                        check_finite(&layer.name, &out)?;
                         *current = Arc::new(out);
                     }
                 }
@@ -695,9 +893,10 @@ impl InferenceEngine {
                     plan,
                 } => {
                     let layer_inputs = Arc::new(currents.clone());
-                    let run = self.run_layer(shared, plan, layer_inputs)?;
+                    let run = self.run_layer(shared, plan, i, layer_inputs)?;
                     for (current, mut out) in currents.iter_mut().zip(run.outputs) {
                         finish_layer_output(layer, &mut out, compiled.weights.bias(i));
+                        check_finite(&layer.name, &out)?;
                         *current = Arc::new(out);
                     }
                     busy_pe_cycles += run.busy_pe_cycles;
@@ -725,10 +924,20 @@ impl InferenceEngine {
     /// `threads` shards (exactly the per-layer fast path's assignment, so
     /// per-shard busy splits match it), each shard task covers all batch
     /// elements, and results reduce in task-index order.
+    ///
+    /// This is also the pool's **supervisor**: a worker that panics reports a
+    /// typed [`MachineError::WorkerPanic`] and terminates, whereupon this
+    /// dispatcher respawns a replacement and requeues the lost shard (up to
+    /// [`MAX_SHARD_ATTEMPTS`]) — the requeued shard re-executes in the same
+    /// fault epoch, so the wave's result stays bit-identical to an
+    /// uninterrupted run. Only a deliberately shut-down pool is never
+    /// restarted; then missing shards resolve as
+    /// [`MachineError::PoolUnavailable`].
     fn run_layer(
         &self,
         layer: &Arc<Layer>,
         plan: &Arc<PlannedLayer>,
+        layer_index: usize,
         inputs: Arc<Vec<Arc<Tensor>>>,
     ) -> Result<LayerRun, MachineError> {
         for input in inputs.iter() {
@@ -756,13 +965,17 @@ impl InferenceEngine {
 
         let (reply_tx, reply_rx) = channel();
         let meta: Vec<Vec<usize>> = shard_rows.clone();
+        let wave = self.wave_counter.fetch_add(1, Ordering::Relaxed);
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            let mut state = lock_unpoisoned(&self.shared.state);
             for (task_id, rows) in shard_rows.into_iter().enumerate() {
                 state.tasks.push_back(ShardTask {
                     task_id,
+                    wave,
                     layer: Arc::clone(layer),
                     plan: Arc::clone(plan),
+                    layer_index,
+                    injector: Arc::clone(&self.injector),
                     inputs: Arc::clone(&inputs),
                     rows,
                     reply: reply_tx.clone(),
@@ -770,34 +983,75 @@ impl InferenceEngine {
             }
         }
         self.shared.available.notify_all();
-        drop(reply_tx);
 
         let elements = inputs.len();
         let mut replies: Vec<Option<Result<ShardOutput, MachineError>>> =
             (0..meta.len()).map(|_| None).collect();
+        let mut attempts = vec![1u32; meta.len()];
         let mut received = 0;
         while received < meta.len() {
             match reply_rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(reply) => {
-                    replies[reply.task_id] = Some(reply.result);
-                    received += 1;
+                    let task_id = reply.task_id;
+                    match reply.result {
+                        Err(MachineError::WorkerPanic { .. })
+                            if attempts[task_id] < MAX_SHARD_ATTEMPTS =>
+                        {
+                            // The worker that owned this shard crashed and
+                            // terminated itself. Bring the pool back to
+                            // strength, then hand the shard back to the
+                            // queue: it restarts from a zeroed buffer in the
+                            // same fault epoch, so recovery is bit-identical.
+                            attempts[task_id] += 1;
+                            self.replace_crashed_worker();
+                            self.requeued_shards.fetch_add(1, Ordering::Relaxed);
+                            {
+                                let mut state = lock_unpoisoned(&self.shared.state);
+                                state.tasks.push_back(ShardTask {
+                                    task_id,
+                                    wave,
+                                    layer: Arc::clone(layer),
+                                    plan: Arc::clone(plan),
+                                    layer_index,
+                                    injector: Arc::clone(&self.injector),
+                                    inputs: Arc::clone(&inputs),
+                                    rows: meta[task_id].clone(),
+                                    reply: reply_tx.clone(),
+                                });
+                            }
+                            self.shared.available.notify_all();
+                        }
+                        result => {
+                            if matches!(result, Err(MachineError::WorkerPanic { .. })) {
+                                // Attempt cap exhausted (a persistent fault):
+                                // restore the pool, surface the typed error.
+                                self.replace_crashed_worker();
+                            }
+                            replies[task_id] = Some(result);
+                            received += 1;
+                        }
+                    }
                 }
-                // Queued tasks hold reply-sender clones, so the channel never
-                // disconnects while tasks sit unpopped — if every worker has
-                // died (a panic mid-task), waiting any longer would hang
-                // forever. Bail out; the `None` replies below turn into an
-                // error.
+                // We hold `reply_tx`, so the channel cannot disconnect; a
+                // timeout means workers are busy — or dead. Reap crashed
+                // workers and respawn replacements; if none are live and none
+                // may be spawned (the pool was shut down), waiting any longer
+                // would hang forever. Bail out; the `None` replies below turn
+                // into a typed error.
                 Err(RecvTimeoutError::Timeout) => {
-                    if self
-                        .handles
-                        .iter()
-                        .all(std::thread::JoinHandle::is_finished)
-                    {
+                    if self.supervise_pool() == 0 {
                         break;
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+        drop(reply_tx);
+        if received < meta.len() {
+            // Abandoning the wave: purge its queued tasks so a dead pool's
+            // queue does not accumulate stale shards (and their input Arcs).
+            let mut state = lock_unpoisoned(&self.shared.state);
+            state.tasks.retain(|t| t.wave != wave);
         }
 
         let mut outputs: Vec<Tensor> = (0..elements).map(|_| Tensor::zeros(layer.output)).collect();
@@ -807,8 +1061,8 @@ impl InferenceEngine {
         let mut work_units = 0u64;
         let mut shard_busy = Vec::with_capacity(meta.len());
         for (task_id, reply) in replies.into_iter().enumerate() {
-            let shard = reply.ok_or_else(|| MachineError::Unsupported {
-                detail: "a pool worker terminated without reporting its shard".into(),
+            let shard = reply.ok_or_else(|| MachineError::PoolUnavailable {
+                detail: "the worker pool shut down before reporting a shard".into(),
             })??;
             let rows = &meta[task_id];
             for (e, output) in outputs.iter_mut().enumerate() {
@@ -844,14 +1098,29 @@ impl InferenceEngine {
 impl Drop for InferenceEngine {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.available.notify_all();
-        for handle in self.handles.drain(..) {
+        for handle in lock_unpoisoned(&self.handles).drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// Rejects a finished layer output containing NaN or ±inf with a typed
+/// [`MachineError::NonFiniteOutput`] naming the layer and the first offending
+/// element — the guard that turns silently-poisoned activations (a
+/// [`FaultKind::NAN_POISON`](ganax_sim::FaultKind) hit, or a genuine numeric
+/// blow-up) into a typed, retryable failure instead of corrupt responses.
+fn check_finite(layer: &str, output: &Tensor) -> Result<(), MachineError> {
+    if let Some(index) = output.data().iter().position(|v| !v.is_finite()) {
+        return Err(MachineError::NonFiniteOutput {
+            layer: layer.to_string(),
+            index,
+        });
+    }
+    Ok(())
 }
 
 /// The pooled execution of one layer across a batch.
@@ -986,5 +1255,140 @@ mod tests {
             other_engine.execute(&compiled, &Tensor::zeros(net.input_shape())),
             Err(MachineError::Unsupported { .. })
         ));
+    }
+
+    use ganax_sim::{FaultKind, FaultSpec};
+
+    /// The fault-free output of the toy network on the paper machine.
+    fn clean_output(net: &Network, weights: &NetworkWeights, input: &Tensor) -> Tensor {
+        let engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+        let compiled = engine.compile(net, weights).unwrap();
+        engine.execute(&compiled, input).unwrap().output
+    }
+
+    fn faulty_machine(spec: FaultSpec) -> GanaxMachine {
+        GanaxMachine::new(crate::GanaxConfig::paper().with_fault(spec).unwrap())
+    }
+
+    #[test]
+    fn corruption_is_bit_identical_across_paths_and_thread_counts() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 61);
+        let input = Tensor::deterministic(net.input_shape(), 67);
+        let clean = clean_output(&net, &weights, &input);
+        let spec = FaultSpec::seeded(
+            0xFA11,
+            40_000,
+            FaultKind::INPUT_FLIP | FaultKind::WEIGHT_FLIP | FaultKind::STUCK_LANE,
+        );
+        let machine = faulty_machine(spec);
+        // The same seed corrupts the staged per-layer path identically.
+        let staged = machine
+            .execute_network_staged(&net, &input, &weights, 2)
+            .unwrap();
+        assert_ne!(staged.output, clean, "the schedule must actually corrupt");
+        let staged_serial = machine
+            .execute_network_staged(&net, &input, &weights, 1)
+            .unwrap();
+        assert_eq!(
+            staged_serial.output, staged.output,
+            "corruption is thread-count invariant on the staged path"
+        );
+        for threads in [1, 2, 5] {
+            let engine = InferenceEngine::new(machine, threads);
+            let compiled = engine.compile(&net, &weights).unwrap();
+            let run = engine.execute(&compiled, &input).unwrap();
+            assert_eq!(
+                run.output, staged.output,
+                "{threads}-thread corrupted output"
+            );
+            assert!(engine.injected_faults() > 0, "faults must have fired");
+        }
+    }
+
+    #[test]
+    fn nan_poison_is_typed_and_a_retry_runs_clean() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 71);
+        let input = Tensor::deterministic(net.input_shape(), 73);
+        let clean = clean_output(&net, &weights, &input);
+        // Target the tanh layer: relu's `max(0.0)` flushes NaN, tanh keeps it.
+        let spec = FaultSpec {
+            layer: 2,
+            ..FaultSpec::seeded(7, 1_000_000, FaultKind::NAN_POISON)
+        };
+        let engine = InferenceEngine::new(faulty_machine(spec), 2);
+        let compiled = engine.compile(&net, &weights).unwrap();
+        match engine.execute(&compiled, &input) {
+            Err(MachineError::NonFiniteOutput { layer, .. }) => assert_eq!(layer, "smooth"),
+            other => panic!("expected NonFiniteOutput, got {other:?}"),
+        }
+        // The poison was transient: the next epoch runs clean, bit-identical
+        // to a fault-free machine.
+        let retry = engine.execute(&compiled, &input).unwrap();
+        assert_eq!(retry.output, clean, "retried output");
+    }
+
+    #[test]
+    fn persistent_faults_fail_every_attempt() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 71);
+        let input = Tensor::deterministic(net.input_shape(), 73);
+        let spec = FaultSpec {
+            layer: 2,
+            persistent: true,
+            ..FaultSpec::seeded(7, 1_000_000, FaultKind::NAN_POISON)
+        };
+        let engine = InferenceEngine::new(faulty_machine(spec), 2);
+        let compiled = engine.compile(&net, &weights).unwrap();
+        for _ in 0..3 {
+            assert!(matches!(
+                engine.execute(&compiled, &input),
+                Err(MachineError::NonFiniteOutput { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn worker_panic_recovers_bit_identically_with_respawn_and_requeue() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 83);
+        let input = Tensor::deterministic(net.input_shape(), 89);
+        let clean = clean_output(&net, &weights, &input);
+        // One worker crash: layer 1, output row 2, guaranteed to fire once.
+        let spec = FaultSpec {
+            layer: 1,
+            row: 2,
+            ..FaultSpec::seeded(11, 1_000_000, FaultKind::WORKER_PANIC)
+        };
+        for threads in [1, 2, 4] {
+            let engine = InferenceEngine::new(faulty_machine(spec), threads);
+            let compiled = engine.compile(&net, &weights).unwrap();
+            let run = engine.execute(&compiled, &input).unwrap();
+            assert_eq!(run.output, clean, "{threads}-thread recovered output");
+            assert_eq!(engine.respawns(), 1, "{threads}-thread respawns");
+            assert_eq!(engine.requeued_shards(), 1, "{threads}-thread requeues");
+            assert!(engine.pool_is_alive(), "{threads}-thread pool liveness");
+            // The respawned pool keeps serving cleanly (the panic site fires
+            // once ever).
+            let again = engine.execute(&compiled, &input).unwrap();
+            assert_eq!(again.output, clean, "{threads}-thread post-crash run");
+        }
+    }
+
+    #[test]
+    fn a_shut_down_pool_reports_typed_pool_unavailable_and_stays_down() {
+        let net = toy_network();
+        let weights = toy_weights(&net, 97);
+        let mut engine = InferenceEngine::new(GanaxMachine::paper(), 2);
+        let compiled = engine.compile(&net, &weights).unwrap();
+        engine.shut_down_pool();
+        assert!(!engine.pool_is_alive());
+        let result = engine.execute(&compiled, &Tensor::deterministic(net.input_shape(), 3));
+        assert!(matches!(result, Err(MachineError::PoolUnavailable { .. })));
+        // The supervisor never resurrects a deliberately shut-down pool, and
+        // the abandoned wave left no stale tasks behind.
+        assert_eq!(engine.respawns(), 0);
+        assert!(lock_unpoisoned(&engine.shared.state).tasks.is_empty());
     }
 }

@@ -68,8 +68,12 @@ pub mod sweep;
 pub use compiler::GanaxCompiler;
 pub use config::{ConfigError, GanaxConfig};
 pub use engine::{BatchExecution, CompiledNetwork, InferenceEngine};
+pub use ganax_sim::{FaultKind, FaultPlan, FaultSpec};
 pub use machine::{GanaxMachine, MachineError, MachineRun};
 pub use network::{LayerExecution, NetworkExecution, NetworkWeights};
 pub use perf::{AblationVariant, GanaxModel, LayerCrossCheck};
-pub use serve::{ModelHandle, Response, ServeConfig, ServeError, ServeStats, Server, Ticket};
+pub use serve::{
+    CircuitState, ModelHandle, ModelHealth, Response, ServeConfig, ServeError, ServeStats, Server,
+    ServerHealth, Ticket,
+};
 pub use sweep::{DesignPoint, DesignSummary, SweepCell, SweepError, SweepResult, SweepSpec};

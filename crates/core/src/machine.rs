@@ -45,7 +45,10 @@ use ganax_dataflow::{LayerGeometry, OutputRowGroups};
 use ganax_energy::EventCounts;
 use ganax_isa::{AddrGenKind, ExecUop};
 use ganax_models::{Layer, LayerOp};
-use ganax_sim::{GeneratorConfig, PeConfig, ProcessingEngine};
+use ganax_sim::{
+    EmitFault, FaultInjector, GeneratorConfig, PeConfig, ProcessingEngine, WorkerFault,
+    STALL_MILLIS,
+};
 use ganax_tensor::{ConvKind, ConvParams, Shape, Tensor, ZeroInsertion};
 
 use crate::config::{ConfigError, GanaxConfig};
@@ -78,6 +81,42 @@ pub enum MachineError {
         /// The layer being dispatched.
         layer: String,
     },
+    /// A worker PE panicked while executing a shard (an injected fault or a
+    /// genuine bug); the shard's partial results were discarded.
+    WorkerPanic {
+        /// The layer whose shard was being executed.
+        layer: String,
+    },
+    /// A layer produced a NaN or infinite output element — silent corruption
+    /// (e.g. an injected operand bit flip) made detectable without goldens.
+    NonFiniteOutput {
+        /// The layer whose output is corrupt.
+        layer: String,
+        /// Flat index of the first non-finite element in the layer output.
+        index: usize,
+    },
+    /// The engine's worker pool is unavailable (shut down or fully dead), so
+    /// the shard could not be executed.
+    PoolUnavailable {
+        /// What the dispatcher observed.
+        detail: String,
+    },
+}
+
+impl MachineError {
+    /// Whether a retry of the same request can plausibly succeed: worker
+    /// panics, non-finite outputs from transient corruption, PE timeouts and
+    /// pool unavailability are transient (the serving layer retries them);
+    /// configuration, support and shape errors are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MachineError::WorkerPanic { .. }
+                | MachineError::NonFiniteOutput { .. }
+                | MachineError::Timeout { .. }
+                | MachineError::PoolUnavailable { .. }
+        )
+    }
 }
 
 impl fmt::Display for MachineError {
@@ -89,6 +128,16 @@ impl fmt::Display for MachineError {
             MachineError::Timeout { layer } => write!(f, "layer `{layer}` did not converge"),
             MachineError::UopOverflow { layer } => {
                 write!(f, "layer `{layer}` overflowed a PE µop FIFO")
+            }
+            MachineError::WorkerPanic { layer } => {
+                write!(f, "a worker PE panicked while executing layer `{layer}`")
+            }
+            MachineError::NonFiniteOutput { layer, index } => write!(
+                f,
+                "layer `{layer}` produced a non-finite output at element {index}"
+            ),
+            MachineError::PoolUnavailable { detail } => {
+                write!(f, "worker pool unavailable: {detail}")
             }
         }
     }
@@ -320,6 +369,82 @@ pub(crate) struct PlannedLayer {
     pub(crate) plan: LayerPlan,
 }
 
+/// The fault coordinates one shard executes under: the injector realizing
+/// the machine config's schedule plus the network-level layer index. `Copy`
+/// (it carries a shared reference) so it moves freely into worker closures.
+/// Shared by the per-layer shard runner and the engine's resident-PE worker,
+/// which must agree on fault sites exactly as they agree on dispatch shapes.
+#[derive(Clone, Copy)]
+pub(crate) struct ShardFaults<'a> {
+    /// The injector deciding every fault site.
+    pub(crate) injector: &'a FaultInjector,
+    /// The network-level layer index (the `layer` fault coordinate).
+    pub(crate) layer_index: usize,
+}
+
+impl ShardFaults<'_> {
+    /// Applies scheduled input-operand corruption to one gathered stream.
+    /// `ordinal` is the chunk's base dispatch ordinal (see
+    /// [`dispatch_ordinal_base`]); the stream is shared by every channel
+    /// group of the chunk, so the site excludes the channel coordinate.
+    pub(crate) fn corrupt_input_stream(&self, row: usize, ordinal: u64, buf: &mut [f32]) {
+        if !self.injector.is_enabled() {
+            return;
+        }
+        for (element, value) in buf.iter_mut().enumerate() {
+            *value = self
+                .injector
+                .corrupt_input(self.layer_index, row, ordinal, element, *value);
+        }
+    }
+
+    /// Applies scheduled weight corruption to one staged weight block.
+    /// Weight sites carry no row coordinate — the same `(ky, ci, chunk,
+    /// group)` stream serves many rows — so every load corrupts identically.
+    fn corrupt_weight_block(&self, ordinal: u64, buf: &mut [f32]) {
+        if !self.injector.is_enabled() {
+            return;
+        }
+        for (element, value) in buf.iter_mut().enumerate() {
+            *value = self
+                .injector
+                .corrupt_weight(self.layer_index, ordinal, element, *value);
+        }
+    }
+
+    /// Decides whether the worker processing output row `row` is disturbed.
+    /// On the scoped per-layer path panics surface as typed
+    /// [`MachineError::WorkerPanic`] returns; the engine's persistent workers
+    /// convert the same decision into a real panic so supervision is
+    /// exercised.
+    pub(crate) fn worker_fault(&self, row: usize) -> Option<WorkerFault> {
+        self.injector.worker_fault(self.layer_index, row)
+    }
+
+    /// Decides whether the emitted contribution of output channel `lane` is
+    /// disturbed for the work unit at `ordinal`.
+    pub(crate) fn emit_fault(&self, row: usize, ordinal: u64, lane: usize) -> Option<EmitFault> {
+        self.injector
+            .emit_fault(self.layer_index, row, ordinal, lane)
+    }
+}
+
+/// The base dispatch ordinal of one `(ky, ci, chunk)` work unit — a pure
+/// function of the layer plan, identical on every execution path and at
+/// every thread count (the property fault determinism rests on). Channel
+/// groups within the chunk add their starting channel `co0`.
+pub(crate) fn dispatch_ordinal_base(
+    plan: &LayerPlan,
+    layer: &Layer,
+    ky: usize,
+    ci: usize,
+    chunk_idx: usize,
+) -> u64 {
+    let ci_count = layer.input.channels as u64;
+    let co_count = layer.output.channels as u64;
+    ((ky as u64 * ci_count + ci as u64) * plan.chunks.len() as u64 + chunk_idx as u64) * co_count
+}
+
 /// Cycle budget of one per-column `mac` run: a stall-free run retires in
 /// `taps` (× the single generator repetition) cycles plus one dispatch cycle,
 /// so anything beyond a small fixed slack means the PE wedged. Deriving the
@@ -398,7 +523,7 @@ impl GanaxMachine {
         threads: usize,
     ) -> Result<MachineRun, MachineError> {
         let planned = self.plan_layer(layer, weights)?;
-        let (run, _shard_busy) = self.execute_planned(layer, input, &planned, threads)?;
+        let (run, _shard_busy) = self.execute_planned(layer, input, &planned, threads, 0)?;
         Ok(run)
     }
 
@@ -429,12 +554,19 @@ impl GanaxMachine {
 
     /// Executes one layer from a prebuilt [`PlannedLayer`], returning the run
     /// and the per-worker busy-cycle split (for load-balance reporting).
+    ///
+    /// `layer_index` is the network-level layer index used as the fault
+    /// coordinate when the config arms a [`FaultSpec`](ganax_sim::FaultSpec)
+    /// (0 for the one-shot layer APIs). Each call builds a fresh
+    /// [`FaultInjector`], so the same seed reproduces the same corruption on
+    /// every call and at every thread count.
     pub(crate) fn execute_planned(
         &self,
         layer: &Layer,
         input: &Tensor,
         planned: &PlannedLayer,
         threads: usize,
+        layer_index: usize,
     ) -> Result<(MachineRun, Vec<u64>), MachineError> {
         if input.shape() != layer.input {
             return Err(MachineError::ShapeMismatch {
@@ -452,6 +584,12 @@ impl GanaxMachine {
         let mut counts = EventCounts::default();
         let mut work_units = 0u64;
         let mut shard_busy = Vec::with_capacity(threads);
+        let injector = FaultInjector::new(self.config.fault);
+        injector.begin_epoch();
+        let faults = ShardFaults {
+            injector: &injector,
+            layer_index,
+        };
         {
             // Output rows in `(co, oy)` order are the contiguous `width`-sized
             // chunks of the output buffer; group them per output row `oy`
@@ -464,7 +602,7 @@ impl GanaxMachine {
             }
             let shard_results: Vec<Result<(u64, EventCounts, u64), MachineError>> = if threads == 1
             {
-                vec![run_shard(layer, input, plan, pe_config, rows_by_oy)]
+                vec![run_shard(layer, input, plan, pe_config, rows_by_oy, faults)]
             } else {
                 // Round-robin over the phase-major row order: rows of one
                 // phase share a tap count, so each worker receives the same
@@ -484,12 +622,20 @@ impl GanaxMachine {
                     let handles: Vec<_> = shards
                         .into_iter()
                         .map(|shard| {
-                            scope.spawn(|| run_shard(layer, input, plan, pe_config, shard))
+                            scope.spawn(move || {
+                                run_shard(layer, input, plan, pe_config, shard, faults)
+                            })
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|handle| handle.join().expect("worker PE panicked"))
+                        .map(|handle| {
+                            handle.join().unwrap_or_else(|_| {
+                                Err(MachineError::WorkerPanic {
+                                    layer: layer.name.clone(),
+                                })
+                            })
+                        })
                         .collect()
                 })
             };
@@ -694,6 +840,7 @@ fn run_shard(
     plan: &LayerPlan,
     pe_config: &PeConfig,
     shard: Vec<(usize, Vec<&mut [f32]>)>,
+    faults: ShardFaults<'_>,
 ) -> Result<(u64, EventCounts, u64), MachineError> {
     let mut pe = ProcessingEngine::new(*pe_config);
     let uop_buf: Vec<ExecUop> =
@@ -702,14 +849,31 @@ fn run_shard(
     let mut work_units = 0u64;
 
     for (oy, mut co_rows) in shard {
+        // On this scoped path an injected worker disturbance surfaces as a
+        // typed error (the caller has no supervision to recover a panic);
+        // the engine's persistent workers turn the same decision into a real
+        // panic that its supervision catches.
+        match faults.worker_fault(oy) {
+            Some(WorkerFault::Panic) => {
+                return Err(MachineError::WorkerPanic {
+                    layer: layer.name.clone(),
+                })
+            }
+            Some(WorkerFault::Stall) => {
+                std::thread::sleep(std::time::Duration::from_millis(STALL_MILLIS))
+            }
+            None => {}
+        }
         for &(ky, iy) in &plan.row_taps[oy] {
             for ci in 0..layer.input.channels {
                 work_units += co_rows.len() as u64;
                 let input_row = input.row_2d(ci, iy);
-                for chunk in &plan.chunks {
+                for (chunk_idx, chunk) in plan.chunks.iter().enumerate() {
+                    let base = dispatch_ordinal_base(plan, layer, ky, ci, chunk_idx);
                     let stream = chunk.taps * chunk.cols;
                     pe.load_input_with(stream, |buf| {
                         gather_chunk_input(plan, chunk, input_row, buf);
+                        faults.corrupt_input_stream(oy, base, buf);
                     });
                     load_words += stream as u64;
 
@@ -717,8 +881,18 @@ fn run_shard(
                     let mut co0 = 0;
                     while co0 < co_rows.len() {
                         let group = group_max.min(co_rows.len() - co0);
-                        load_words +=
-                            load_chunk_weights(&mut pe, plan, chunk, stream, group, co0, ci, ky);
+                        load_words += load_chunk_weights(
+                            &mut pe,
+                            plan,
+                            chunk,
+                            stream,
+                            group,
+                            co0,
+                            ci,
+                            ky,
+                            faults,
+                            base + co0 as u64,
+                        );
                         retire_chunk_group(
                             &mut pe,
                             chunk,
@@ -730,9 +904,21 @@ fn run_shard(
                             |k, slots| {
                                 let row = &mut co_rows[co0 + k];
                                 let mut ox = chunk.ox_start;
-                                for &value in slots {
-                                    row[ox] += value;
-                                    ox += chunk.col_step;
+                                match faults.emit_fault(oy, base + co0 as u64, co0 + k) {
+                                    Some(EmitFault::StuckLane | EmitFault::DroppedUop) => {}
+                                    Some(EmitFault::DuplicatedUop) => {
+                                        for &value in slots {
+                                            row[ox] += value;
+                                            row[ox] += value;
+                                            ox += chunk.col_step;
+                                        }
+                                    }
+                                    None => {
+                                        for &value in slots {
+                                            row[ox] += value;
+                                            ox += chunk.col_step;
+                                        }
+                                    }
                                 }
                             },
                         )?;
@@ -782,7 +968,10 @@ pub(crate) fn gather_chunk_input(
 
 /// Stages the gathered weight streams of one `(chunk, ci, ky, channel
 /// group)` into the weight scratchpad, returning the words loaded (bulk
-/// loads are excluded from the reported counts by the callers).
+/// loads are excluded from the reported counts by the callers). `ordinal`
+/// is the group's dispatch ordinal ([`dispatch_ordinal_base`]` + co0`),
+/// the coordinate of any scheduled weight corruption.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn load_chunk_weights(
     pe: &mut ProcessingEngine,
     plan: &LayerPlan,
@@ -792,6 +981,8 @@ pub(crate) fn load_chunk_weights(
     co0: usize,
     ci: usize,
     ky: usize,
+    faults: ShardFaults<'_>,
+    ordinal: u64,
 ) -> u64 {
     pe.load_weights_with(group * stream, |buf| {
         for (k, dst) in buf.chunks_exact_mut(stream).enumerate() {
@@ -800,6 +991,7 @@ pub(crate) fn load_chunk_weights(
                 *value = weight_row[offset as usize];
             }
         }
+        faults.corrupt_weight_block(ordinal, buf);
     });
     (group * stream) as u64
 }

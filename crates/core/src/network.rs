@@ -592,7 +592,7 @@ impl GanaxMachine {
                         }
                     };
                     planned.and_then(|plan| {
-                        self.execute_planned(layer, &current, &plan, threads)
+                        self.execute_planned(layer, &current, &plan, threads, i)
                             .map(|(run, shard_busy)| StageRun::Machine(run, shard_busy))
                     })
                 };

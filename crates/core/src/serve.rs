@@ -35,6 +35,19 @@
 //!   ([`InferenceEngine::shut_down_pool`], or a mid-task panic) resolves
 //!   tickets with a typed [`ServeError::Engine`] through the engine's
 //!   pool-death timeout path — tickets never hang.
+//! * **self-healing under faults** — transient wave failures (a worker panic
+//!   the engine's supervisor recovered from, NaN-poisoned outputs, a pool
+//!   hiccup) are retried with backoff up to [`ServeConfig::max_retries`]; a
+//!   retried wave re-executes in a fresh fault epoch, so its responses are
+//!   bit-identical to a fault-free run. Per-request deadlines
+//!   ([`ServeConfig::request_deadline`]) resolve overdue tickets with the
+//!   typed [`ServeError::DeadlineExceeded`], and a per-model **circuit
+//!   breaker** ([`ServeConfig::breaker_threshold`] consecutive final
+//!   failures) sheds load with [`ServeError::ModelUnhealthy`] until a
+//!   cooldown probe succeeds. [`Server::health`] snapshots pool liveness and
+//!   every breaker; [`Server::stats`] counts retries, respawns, requeues,
+//!   deadline misses and breaker activity. Every path resolves tickets with
+//!   typed errors — the batcher itself never panics.
 //!
 //! # Example
 //!
@@ -68,9 +81,10 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -78,7 +92,7 @@ use ganax_energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use ganax_models::Network;
 use ganax_tensor::{Shape, Tensor};
 
-use crate::engine::{CompiledNetwork, InferenceEngine};
+use crate::engine::{lock_unpoisoned, CompiledNetwork, InferenceEngine};
 use crate::machine::MachineError;
 use crate::network::NetworkWeights;
 
@@ -114,10 +128,26 @@ pub enum ServeError {
     /// The request was admitted but the server shut down before serving it.
     Cancelled,
     /// The wave executing this request failed in the engine (including the
-    /// pool-death path: every worker thread gone).
+    /// pool-death path: every worker thread gone), after any configured
+    /// retries were exhausted.
     Engine {
         /// The underlying machine error.
         error: MachineError,
+    },
+    /// The request outlived its [`ServeConfig::request_deadline`] — either
+    /// waiting in the queue or riding a wave that finished too late.
+    DeadlineExceeded {
+        /// Name of the model the request was submitted against.
+        model: String,
+        /// The configured deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// The model's circuit breaker is open: its last
+    /// [`ServeConfig::breaker_threshold`] waves all failed, and the cooldown
+    /// probe has not yet succeeded. Other models are unaffected.
+    ModelUnhealthy {
+        /// Name of the unhealthy model.
+        model: String,
     },
 }
 
@@ -133,6 +163,14 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Cancelled => write!(f, "request cancelled by server shutdown"),
             ServeError::Engine { error } => write!(f, "wave execution failed: {error}"),
+            ServeError::DeadlineExceeded { model, deadline } => write!(
+                f,
+                "request for model `{model}` exceeded its {:.1} ms deadline",
+                deadline.as_secs_f64() * 1e3
+            ),
+            ServeError::ModelUnhealthy { model } => {
+                write!(f, "model `{model}` is unhealthy (circuit breaker open)")
+            }
         }
     }
 }
@@ -156,6 +194,25 @@ pub struct ServeConfig {
     /// least-recently-used artifact is evicted beyond this; evicted models
     /// recompile transparently on their next wave.
     pub plan_cache_capacity: usize,
+    /// Per-request latency bound. A request that outlives it — queued or
+    /// riding a late wave — resolves with [`ServeError::DeadlineExceeded`].
+    /// `Duration::ZERO` (the default) disables deadlines.
+    pub request_deadline: Duration,
+    /// Times a wave is re-executed after a *transient* engine failure
+    /// ([`MachineError::is_transient`]: a worker panic, a non-finite output,
+    /// a pool hiccup) before the failure becomes final. A retried wave runs
+    /// in a fresh fault epoch, so its responses are bit-identical to a
+    /// fault-free run. 0 disables retries.
+    pub max_retries: u32,
+    /// Sleep between retry attempts of one wave.
+    pub retry_backoff: Duration,
+    /// Consecutive *final* wave failures that open a model's circuit
+    /// breaker; an open breaker rejects submissions with
+    /// [`ServeError::ModelUnhealthy`] until a post-cooldown probe wave
+    /// succeeds. 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting one probe request.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -165,6 +222,11 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             queue_capacity: 256,
             plan_cache_capacity: 4,
+            request_deadline: Duration::ZERO,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(100),
         }
     }
 }
@@ -292,8 +354,22 @@ pub struct ServeStats {
     pub completed: u64,
     /// Admitted requests cancelled by shutdown.
     pub cancelled: u64,
-    /// Admitted requests that failed in the engine.
+    /// Admitted requests whose wave failed in the engine *after* exhausting
+    /// any retries — final failures only; recovered retries are counted in
+    /// [`ServeStats::retries`] instead.
     pub failed: u64,
+    /// Wave re-executions after transient engine failures.
+    pub retries: u64,
+    /// Pool workers respawned by the engine's supervisor after crashes.
+    pub respawns: u64,
+    /// Shards requeued by the engine after their worker panicked mid-task.
+    pub requeued_shards: u64,
+    /// Requests resolved with [`ServeError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Times a model's circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Submissions rejected with [`ServeError::ModelUnhealthy`].
+    pub breaker_rejections: u64,
     /// Waves dispatched.
     pub waves: u64,
     /// Requests that rode in a wave of size ≥ 2.
@@ -331,14 +407,141 @@ impl ServeStats {
     }
 }
 
+/// The position of one model's circuit breaker (see [`Server::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: requests are admitted normally.
+    Closed,
+    /// Tripped: submissions are rejected with [`ServeError::ModelUnhealthy`]
+    /// until the cooldown elapses.
+    Open,
+    /// Probing: the cooldown elapsed and one request was admitted; its
+    /// wave's outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// The mutable core of one model's circuit breaker.
+struct BreakerCore {
+    state: CircuitState,
+    /// Consecutive final wave failures since the last success.
+    failures: u32,
+    /// When the breaker last opened.
+    opened_at: Option<Instant>,
+}
+
+impl BreakerCore {
+    fn new() -> Self {
+        BreakerCore {
+            state: CircuitState::Closed,
+            failures: 0,
+            opened_at: None,
+        }
+    }
+}
+
+/// Health snapshot of one registered model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelHealth {
+    /// Model name.
+    pub name: String,
+    /// Circuit-breaker position.
+    pub circuit: CircuitState,
+    /// Consecutive final wave failures since the model's last success.
+    pub consecutive_failures: u32,
+}
+
+/// Health snapshot of the whole serving stack (see [`Server::health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHealth {
+    /// Whether the engine's worker pool has at least one live worker.
+    pub pool_alive: bool,
+    /// The pool's target worker count.
+    pub pool_threads: usize,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Per-model breaker state, in registration order.
+    pub models: Vec<ModelHealth>,
+}
+
+impl ServerHealth {
+    /// Whether the stack can currently serve every registered model: the
+    /// pool is alive and no breaker is open.
+    pub fn is_healthy(&self) -> bool {
+        self.pool_alive
+            && self
+                .models
+                .iter()
+                .all(|m| m.circuit == CircuitState::Closed)
+    }
+}
+
 /// One registered model: everything needed to (re)compile its plan after an
-/// eviction round-trip.
+/// eviction round-trip, plus its circuit breaker.
 struct ModelEntry {
     name: String,
     network: Network,
     weights: NetworkWeights,
     input_shape: Shape,
     fingerprint: u64,
+    breaker: Mutex<BreakerCore>,
+}
+
+impl ModelEntry {
+    /// Admission decision: `true` to admit. An open breaker whose cooldown
+    /// has elapsed transitions to [`CircuitState::HalfOpen`] and admits that
+    /// one request as the probe; further requests are rejected until the
+    /// probe's wave resolves.
+    fn breaker_admits(&self, cooldown: Duration) -> bool {
+        let mut breaker = lock_unpoisoned(&self.breaker);
+        match breaker.state {
+            CircuitState::Closed => true,
+            CircuitState::Open => {
+                let elapsed = breaker
+                    .opened_at
+                    .map(|at| at.elapsed())
+                    .unwrap_or(Duration::MAX);
+                if elapsed >= cooldown {
+                    breaker.state = CircuitState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            CircuitState::HalfOpen => false,
+        }
+    }
+
+    /// Records a successful wave: the breaker closes and the failure streak
+    /// resets.
+    fn breaker_success(&self) {
+        let mut breaker = lock_unpoisoned(&self.breaker);
+        breaker.state = CircuitState::Closed;
+        breaker.failures = 0;
+        breaker.opened_at = None;
+    }
+
+    /// Records a final wave failure. Returns `true` when this failure trips
+    /// the breaker open (from closed at the threshold, or a failed probe).
+    fn breaker_failure(&self, threshold: u32) -> bool {
+        let mut breaker = lock_unpoisoned(&self.breaker);
+        breaker.failures = breaker.failures.saturating_add(1);
+        if threshold == 0 {
+            return false;
+        }
+        match breaker.state {
+            CircuitState::HalfOpen => {
+                breaker.state = CircuitState::Open;
+                breaker.opened_at = Some(Instant::now());
+                true
+            }
+            CircuitState::Closed if breaker.failures >= threshold => {
+                breaker.state = CircuitState::Open;
+                breaker.opened_at = Some(Instant::now());
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// One resident artifact of the plan cache.
@@ -384,7 +587,7 @@ impl ServerShared {
     fn plan_for(&self, entry: &ModelEntry) -> Result<(Arc<CompiledNetwork>, f64), MachineError> {
         let key = (entry.fingerprint, self.config_fingerprint);
         let (artifact, plan_seconds, evictions, hit) = {
-            let mut cache = self.cache.lock().expect("plan cache lock");
+            let mut cache = lock_unpoisoned(&self.cache);
             cache.tick += 1;
             let tick = cache.tick;
             if let Some(slot) = cache.slots.iter_mut().find(|slot| slot.key == key) {
@@ -404,20 +607,22 @@ impl ServerShared {
                 });
                 let mut evictions = 0u64;
                 while cache.slots.len() > cache.capacity {
-                    let oldest = cache
+                    let Some(oldest) = cache
                         .slots
                         .iter()
                         .enumerate()
                         .min_by_key(|(_, slot)| slot.last_used)
                         .map(|(i, _)| i)
-                        .expect("cache is non-empty");
+                    else {
+                        break;
+                    };
                     cache.slots.remove(oldest);
                     evictions += 1;
                 }
                 (compiled, plan_seconds, evictions, false)
             }
         };
-        let mut stats = self.stats.lock().expect("stats lock");
+        let mut stats = lock_unpoisoned(&self.stats);
         if hit {
             stats.cache_hits += 1;
         } else {
@@ -437,7 +642,7 @@ impl ServerShared {
             cancelled += 1;
         }
         if cancelled > 0 {
-            self.stats.lock().expect("stats lock").cancelled += cancelled;
+            lock_unpoisoned(&self.stats).cancelled += cancelled;
         }
     }
 }
@@ -516,11 +721,12 @@ impl Server {
             weights: weights.clone(),
             input_shape: network.input_shape(),
             fingerprint: weights.fingerprint(network),
+            breaker: Mutex::new(BreakerCore::new()),
         });
         self.shared
             .plan_for(&entry)
             .map_err(|error| ServeError::Engine { error })?;
-        let mut models = self.shared.models.lock().expect("model registry lock");
+        let mut models = lock_unpoisoned(&self.shared.models);
         models.push(entry);
         Ok(ModelHandle {
             server: self.shared.id,
@@ -530,11 +736,7 @@ impl Server {
 
     /// Number of registered models.
     pub fn model_count(&self) -> usize {
-        self.shared
-            .models
-            .lock()
-            .expect("model registry lock")
-            .len()
+        lock_unpoisoned(&self.shared.models).len()
     }
 
     /// Looks a handle up, validating provenance.
@@ -544,10 +746,7 @@ impl Server {
                 detail: "handle was issued by a different server".into(),
             });
         }
-        self.shared
-            .models
-            .lock()
-            .expect("model registry lock")
+        lock_unpoisoned(&self.shared.models)
             .get(model.index)
             .cloned()
             .ok_or_else(|| ServeError::UnknownModel {
@@ -560,8 +759,9 @@ impl Server {
     /// # Errors
     /// Returns [`ServeError::UnknownModel`] for a foreign handle,
     /// [`ServeError::ShapeMismatch`] when the input does not match the
-    /// model, [`ServeError::QueueFull`] when the admission queue is at
-    /// capacity (backpressure — retry later), and
+    /// model, [`ServeError::ModelUnhealthy`] while the model's circuit
+    /// breaker is open, [`ServeError::QueueFull`] when the admission queue
+    /// is at capacity (backpressure — retry later), and
     /// [`ServeError::ShuttingDown`] during shutdown.
     pub fn submit(&self, model: ModelHandle, input: Tensor) -> Result<Ticket, ServeError> {
         let entry = self.entry(model)?;
@@ -575,9 +775,15 @@ impl Server {
                 ),
             });
         }
+        if !entry.breaker_admits(self.shared.config.breaker_cooldown) {
+            lock_unpoisoned(&self.shared.stats).breaker_rejections += 1;
+            return Err(ServeError::ModelUnhealthy {
+                model: entry.name.clone(),
+            });
+        }
         let (reply, rx) = channel();
         let admitted = {
-            let mut queue = self.shared.queue.lock().expect("admission queue lock");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             if queue.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
@@ -593,7 +799,7 @@ impl Server {
                 true
             }
         };
-        let mut stats = self.shared.stats.lock().expect("stats lock");
+        let mut stats = lock_unpoisoned(&self.shared.stats);
         if admitted {
             stats.submitted += 1;
             drop(stats);
@@ -621,34 +827,51 @@ impl Server {
 
     /// Requests currently waiting in the admission queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .expect("admission queue lock")
-            .pending
-            .len()
+        lock_unpoisoned(&self.shared.queue).pending.len()
     }
 
     /// Compiled artifacts currently resident in the plan cache.
     pub fn resident_plans(&self) -> usize {
-        self.shared
-            .cache
-            .lock()
-            .expect("plan cache lock")
-            .slots
-            .len()
+        lock_unpoisoned(&self.shared.cache).slots.len()
     }
 
-    /// A consistent snapshot of the server's aggregate activity.
+    /// A consistent snapshot of the server's aggregate activity, including
+    /// the engine's supervision counters (respawned workers, requeued
+    /// shards).
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats.lock().expect("stats lock").clone()
+        let mut stats = lock_unpoisoned(&self.shared.stats).clone();
+        stats.respawns = self.shared.engine.respawns();
+        stats.requeued_shards = self.shared.engine.requeued_shards();
+        stats
+    }
+
+    /// A health snapshot: pool liveness, queue depth and every model's
+    /// circuit-breaker position.
+    pub fn health(&self) -> ServerHealth {
+        let models = lock_unpoisoned(&self.shared.models)
+            .iter()
+            .map(|entry| {
+                let breaker = lock_unpoisoned(&entry.breaker);
+                ModelHealth {
+                    name: entry.name.clone(),
+                    circuit: breaker.state,
+                    consecutive_failures: breaker.failures,
+                }
+            })
+            .collect();
+        ServerHealth {
+            pool_alive: self.shared.engine.pool_is_alive(),
+            pool_threads: self.shared.engine.threads(),
+            queue_depth: self.queue_depth(),
+            models,
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("admission queue lock");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             queue.shutdown = true;
         }
         self.shared.arrivals.notify_all();
@@ -670,7 +893,7 @@ fn batcher_loop(shared: &Arc<ServerShared>) {
     loop {
         // Claim a wave leader — or drain and exit on shutdown.
         let leader = {
-            let mut queue = shared.queue.lock().expect("admission queue lock");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if queue.shutdown {
                     let drained = std::mem::take(&mut queue.pending);
@@ -681,7 +904,10 @@ fn batcher_loop(shared: &Arc<ServerShared>) {
                 if let Some(request) = queue.pending.pop_front() {
                     break request;
                 }
-                queue = shared.arrivals.wait(queue).expect("admission queue lock");
+                queue = shared
+                    .arrivals
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let model = leader.model;
@@ -692,12 +918,15 @@ fn batcher_loop(shared: &Arc<ServerShared>) {
         // wait but the claimed wave still executes.
         let deadline = Instant::now() + shared.config.batch_window;
         {
-            let mut queue = shared.queue.lock().expect("admission queue lock");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 let mut i = 0;
                 while wave.len() < shared.config.max_batch && i < queue.pending.len() {
                     if queue.pending[i].model == model {
-                        wave.push(queue.pending.remove(i).expect("index is in range"));
+                        match queue.pending.remove(i) {
+                            Some(request) => wave.push(request),
+                            None => break,
+                        }
                     } else {
                         i += 1;
                     }
@@ -712,32 +941,71 @@ fn batcher_loop(shared: &Arc<ServerShared>) {
                 let (guard, _timeout) = shared
                     .arrivals
                     .wait_timeout(queue, deadline - now)
-                    .expect("admission queue lock");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = guard;
             }
         }
 
         wave_id += 1;
-        run_wave(shared, wave_id, model, wave);
+        // Last-resort containment: every failure path inside `run_wave` is
+        // typed, but if something below it ever panics anyway, the wave's
+        // reply senders drop (tickets resolve `Cancelled`) and the batcher
+        // itself survives to serve the next wave.
+        let wave_len = wave.len() as u64;
+        if catch_unwind(AssertUnwindSafe(|| run_wave(shared, wave_id, model, wave))).is_err() {
+            let mut stats = lock_unpoisoned(&shared.stats);
+            stats.failed += wave_len;
+        }
     }
 }
 
-/// Executes one coalesced wave and resolves its tickets.
+/// Executes one coalesced wave and resolves its tickets: deadline-checks at
+/// formation, retries transient engine failures with backoff (each retry is
+/// a fresh fault epoch, so a recovered wave is bit-identical to a fault-free
+/// one), records the outcome on the model's circuit breaker, and
+/// deadline-checks again at retirement. Every path resolves every ticket
+/// with a typed result.
 fn run_wave(shared: &ServerShared, wave_id: u64, model: usize, wave: Vec<Request>) {
-    let entry = {
-        let models = shared.models.lock().expect("model registry lock");
-        Arc::clone(&models[model])
+    let Some(entry) = lock_unpoisoned(&shared.models).get(model).map(Arc::clone) else {
+        // Unreachable by construction (requests carry validated indices);
+        // resolve rather than panic if it ever happens.
+        shared.cancel(wave);
+        return;
     };
     let wave_start = Instant::now();
+    let request_deadline = shared.config.request_deadline;
     let mut inputs = Vec::with_capacity(wave.len());
     let mut replies = Vec::with_capacity(wave.len());
+    let mut expired = 0u64;
     for request in wave {
+        // A request that already outlived its deadline in the queue is
+        // resolved here instead of burning pool time on a dead answer.
+        if !request_deadline.is_zero() && request.submitted.elapsed() > request_deadline {
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded {
+                model: entry.name.clone(),
+                deadline: request_deadline,
+            }));
+            expired += 1;
+            continue;
+        }
         inputs.push(request.input);
         replies.push((request.submitted, request.reply));
     }
+    if expired > 0 {
+        lock_unpoisoned(&shared.stats).deadline_exceeded += expired;
+    }
+    if inputs.is_empty() {
+        return;
+    }
 
     let fail = |error: MachineError, replies: Vec<(Instant, Sender<_>)>| {
-        shared.stats.lock().expect("stats lock").failed += replies.len() as u64;
+        {
+            let mut stats = lock_unpoisoned(&shared.stats);
+            stats.failed += replies.len() as u64;
+            if entry.breaker_failure(shared.config.breaker_threshold) {
+                stats.breaker_trips += 1;
+            }
+        }
         for (_, reply) in replies {
             let _ = reply.send(Err(ServeError::Engine {
                 error: error.clone(),
@@ -749,37 +1017,70 @@ fn run_wave(shared: &ServerShared, wave_id: u64, model: usize, wave: Vec<Request
         Ok(planned) => planned,
         Err(error) => return fail(error, replies),
     };
-    let batch = match shared.engine.execute_batch(&artifact, &inputs) {
-        Ok(batch) => batch,
-        Err(error) => return fail(error, replies),
+    let mut attempt = 0u32;
+    let batch = loop {
+        match shared.engine.execute_batch(&artifact, &inputs) {
+            Ok(batch) => break batch,
+            Err(error) if error.is_transient() && attempt < shared.config.max_retries => {
+                attempt += 1;
+                lock_unpoisoned(&shared.stats).retries += 1;
+                std::thread::sleep(shared.config.retry_backoff);
+            }
+            Err(error) => return fail(error, replies),
+        }
     };
+    entry.breaker_success();
 
+    let wave_size = replies.len();
+    let mut completed = 0u64;
+    let mut late = 0u64;
+    let mut sends = Vec::with_capacity(wave_size);
+    for ((submitted, reply), output) in replies.into_iter().zip(batch.outputs) {
+        // The work is done, but the latency contract is not met: a response
+        // after the deadline is as good as none.
+        if !request_deadline.is_zero() && submitted.elapsed() > request_deadline {
+            late += 1;
+            sends.push((
+                reply,
+                Err(ServeError::DeadlineExceeded {
+                    model: entry.name.clone(),
+                    deadline: request_deadline,
+                }),
+            ));
+            continue;
+        }
+        completed += 1;
+        sends.push((
+            reply,
+            Ok(Response {
+                model: entry.name.clone(),
+                output,
+                wave: wave_id,
+                wave_size,
+                queue_seconds: wave_start
+                    .saturating_duration_since(submitted)
+                    .as_secs_f64(),
+                exec_seconds: batch.wall_seconds,
+                plan_seconds,
+                latency_seconds: submitted.elapsed().as_secs_f64(),
+            }),
+        ));
+    }
     {
-        let mut stats = shared.stats.lock().expect("stats lock");
+        let mut stats = lock_unpoisoned(&shared.stats);
         stats.waves += 1;
-        stats.completed += replies.len() as u64;
-        stats.max_wave = stats.max_wave.max(replies.len());
-        if replies.len() > 1 {
-            stats.batched_requests += replies.len() as u64;
+        stats.completed += completed;
+        stats.deadline_exceeded += late;
+        stats.max_wave = stats.max_wave.max(wave_size);
+        if wave_size > 1 {
+            stats.batched_requests += wave_size as u64;
         }
         stats.busy_pe_cycles += batch.busy_pe_cycles;
         stats.work_units += batch.work_units;
         stats.counts += batch.counts;
     }
-    let wave_size = replies.len();
-    for ((submitted, reply), output) in replies.into_iter().zip(batch.outputs) {
-        let _ = reply.send(Ok(Response {
-            model: entry.name.clone(),
-            output,
-            wave: wave_id,
-            wave_size,
-            queue_seconds: wave_start
-                .saturating_duration_since(submitted)
-                .as_secs_f64(),
-            exec_seconds: batch.wall_seconds,
-            plan_seconds,
-            latency_seconds: submitted.elapsed().as_secs_f64(),
-        }));
+    for (reply, result) in sends {
+        let _ = reply.send(result);
     }
 }
 
@@ -915,5 +1216,137 @@ mod tests {
             "alternating models through a capacity-1 cache must evict: {stats:?}"
         );
         assert!(stats.plan_builds >= 4, "evicted models recompile");
+    }
+
+    use ganax_sim::{FaultKind, FaultSpec};
+
+    fn faulty_server(threads: usize, config: ServeConfig, spec: FaultSpec) -> Server {
+        let machine = GanaxMachine::new(crate::GanaxConfig::paper().with_fault(spec).unwrap());
+        Server::new(InferenceEngine::new(machine, threads), config).unwrap()
+    }
+
+    #[test]
+    fn transient_nan_poison_is_retried_and_bit_identical() {
+        let network = toy_network("toy-r", 1);
+        let weights = toy_weights(&network, 17);
+        let input = Tensor::deterministic(network.input_shape(), 21);
+        let clean = {
+            let server = toy_server(2, ServeConfig::default());
+            let model = server.register(&network, &weights).unwrap();
+            server.run(model, input.clone()).unwrap().output
+        };
+        // Poison the second layer (its activation is `None`, so NaN survives
+        // to the output guard); non-persistent, so the retry epoch is clean.
+        let spec = FaultSpec {
+            layer: 1,
+            ..FaultSpec::seeded(5, 1_000_000, FaultKind::NAN_POISON)
+        };
+        let server = faulty_server(2, ServeConfig::default(), spec);
+        let model = server.register(&network, &weights).unwrap();
+        let response = server.run(model, input).unwrap();
+        assert_eq!(response.output, clean, "retried wave output");
+        let stats = server.stats();
+        assert!(stats.retries >= 1, "the failure was retried: {stats:?}");
+        assert_eq!(stats.failed, 0, "the failure was masked");
+        assert_eq!(stats.completed, 1);
+        assert!(server.health().is_healthy());
+    }
+
+    #[test]
+    fn persistent_failures_trip_the_breaker() {
+        let network = toy_network("toy-p", 1);
+        let weights = toy_weights(&network, 19);
+        let input = Tensor::deterministic(network.input_shape(), 23);
+        let spec = FaultSpec {
+            layer: 1,
+            persistent: true,
+            ..FaultSpec::seeded(5, 1_000_000, FaultKind::NAN_POISON)
+        };
+        let config = ServeConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(3600),
+            max_retries: 1,
+            retry_backoff: Duration::ZERO,
+            ..ServeConfig::default()
+        };
+        let server = faulty_server(1, config, spec);
+        let model = server.register(&network, &weights).unwrap();
+        for k in 0..2 {
+            assert!(
+                matches!(
+                    server.run(model, input.clone()),
+                    Err(ServeError::Engine {
+                        error: MachineError::NonFiniteOutput { .. }
+                    })
+                ),
+                "persistent poison must fail every attempt (request {k})"
+            );
+        }
+        let health = server.health();
+        assert_eq!(health.models[0].circuit, CircuitState::Open);
+        assert_eq!(health.models[0].consecutive_failures, 2);
+        assert!(!health.is_healthy());
+        assert!(matches!(
+            server.submit(model, input),
+            Err(ServeError::ModelUnhealthy { .. })
+        ));
+        let stats = server.stats();
+        assert_eq!(stats.failed, 2, "final failures only");
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_rejections, 1);
+        assert!(stats.retries >= 2, "each wave retried before failing");
+    }
+
+    #[test]
+    fn the_breaker_state_machine_probes_and_recovers() {
+        let network = toy_network("toy-m", 1);
+        let weights = toy_weights(&network, 29);
+        let entry = ModelEntry {
+            name: "toy-m".into(),
+            network: network.clone(),
+            weights,
+            input_shape: network.input_shape(),
+            fingerprint: 0,
+            breaker: Mutex::new(BreakerCore::new()),
+        };
+        let hour = Duration::from_secs(3600);
+        assert!(entry.breaker_admits(hour), "closed admits");
+        assert!(!entry.breaker_failure(2), "first failure stays closed");
+        assert!(entry.breaker_failure(2), "second failure trips");
+        assert!(!entry.breaker_admits(hour), "open rejects within cooldown");
+        assert!(
+            entry.breaker_admits(Duration::ZERO),
+            "cooldown admits probe"
+        );
+        assert!(!entry.breaker_admits(Duration::ZERO), "one probe at a time");
+        assert!(entry.breaker_failure(2), "failed probe re-trips");
+        assert!(entry.breaker_admits(Duration::ZERO), "next probe");
+        entry.breaker_success();
+        assert!(entry.breaker_admits(hour), "successful probe closes");
+        assert!(
+            !entry.breaker_failure(0),
+            "threshold 0 disables the breaker"
+        );
+        assert!(entry.breaker_admits(hour));
+    }
+
+    #[test]
+    fn expired_requests_resolve_with_typed_deadline_errors() {
+        let network = toy_network("toy-d", 1);
+        let weights = toy_weights(&network, 31);
+        let config = ServeConfig {
+            request_deadline: Duration::from_nanos(1),
+            ..ServeConfig::default()
+        };
+        let server = toy_server(1, config);
+        let model = server.register(&network, &weights).unwrap();
+        match server.run(model, Tensor::deterministic(network.input_shape(), 37)) {
+            Err(ServeError::DeadlineExceeded { model, .. }) => assert_eq!(model, "toy-d"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.failed, 0, "a deadline miss is not an engine failure");
     }
 }

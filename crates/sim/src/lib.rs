@@ -46,6 +46,7 @@
 
 mod access;
 mod execute;
+mod fault;
 mod fifo;
 mod index_gen;
 mod pe;
@@ -54,6 +55,9 @@ mod scratchpad;
 
 pub use access::AccessEngine;
 pub use execute::{ActivationKind, ExecuteEngine};
+pub use fault::{
+    EmitFault, FaultInjector, FaultKind, FaultPlan, FaultSpec, WorkerFault, STALL_MILLIS,
+};
 pub use fifo::{AddrFifo, FifoError, UopFifo};
 pub use index_gen::{GeneratorConfig, StridedIndexGenerator};
 pub use pe::{PeConfig, ProcessingEngine};
