@@ -174,10 +174,11 @@ pub struct GanaxConfig {
     /// the analytic and area models.
     pub pe: PeConfig,
     /// Worker-PE sizing used by the cycle-level machine's functional fast
-    /// path. Defaults to [`PeConfig::roomy`] — deep scratchpads and µop FIFO
-    /// so whole feature-map rows dispatch in one burst; outputs and counters
-    /// do not depend on this sizing (only simulation wall-clock does), as the
-    /// machine's per-column traffic is invariant under chunking.
+    /// path. Defaults to [`PeConfig::deep`] — scratchpads and µop FIFO sized
+    /// so a whole channel group of a full-size layer dispatches in one burst;
+    /// outputs and counters do not depend on this sizing (only simulation
+    /// wall-clock does), as the machine's per-column traffic is invariant
+    /// under chunking.
     pub sim_pe: PeConfig,
     /// Area model (Table III). `area.num_pes` must match the array geometry;
     /// [`GanaxConfig::with_geometry`] keeps them in sync.
@@ -195,7 +196,7 @@ impl GanaxConfig {
         GanaxConfig {
             base: AcceleratorConfig::paper(),
             pe: PeConfig::paper(),
-            sim_pe: PeConfig::roomy(),
+            sim_pe: PeConfig::deep(),
             area: AreaModel::table_iii(),
             fault: FaultSpec::disabled(),
         }

@@ -70,14 +70,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ganax_energy::{EnergyBreakdown, EnergyModel, EventCounts};
-use ganax_isa::ExecUop;
 use ganax_models::{Layer, LayerOp, Network};
 use ganax_sim::{EmitFault, FaultInjector, ProcessingEngine, WorkerFault, STALL_MILLIS};
 use ganax_tensor::Tensor;
 
 use crate::machine::{
     chunk_group_max, dispatch_ordinal_base, gather_chunk_input, load_chunk_weights,
-    retire_chunk_group, GanaxMachine, MachineError, PlannedLayer, ShardFaults,
+    retire_chunk_group, shard_for_position, GanaxMachine, MachineError, PlannedLayer, ShardFaults,
 };
 use crate::network::{
     finish_layer_output, host_projection, LayerExecution, NetworkExecution, NetworkWeights,
@@ -271,8 +270,10 @@ struct ShardTask {
     injector: Arc<FaultInjector>,
     /// Current input feature maps, one per batch element.
     inputs: Arc<Vec<Arc<Tensor>>>,
-    /// Output rows (`oy` values) this shard owns, ascending.
-    rows: Vec<usize>,
+    /// Output rows (`oy` values) this shard owns, ascending. Shared with the
+    /// dispatcher's reduction metadata (and any requeue after a worker
+    /// crash), so publishing a task never copies the row list.
+    rows: Arc<Vec<usize>>,
     /// Where the worker reports the shard result.
     reply: Sender<TaskReply>,
 }
@@ -426,7 +427,7 @@ fn run_resident_shard(
     // the shard owns before any work, exactly as the per-layer path does. A
     // panic here is genuine: it unwinds into the worker's `catch_unwind` so
     // supervision, respawn and requeue are exercised for real.
-    for &oy in rows {
+    for &oy in rows.iter() {
         match faults.worker_fault(oy) {
             Some(WorkerFault::Panic) => panic!(
                 "injected worker panic (layer `{}`, output row {oy})",
@@ -439,8 +440,6 @@ fn run_resident_shard(
         }
     }
 
-    let max_pairs = pe_config.uop_fifo_entries / 2;
-    let uop_buf: Vec<ExecUop> = [ExecUop::Repeat, ExecUop::Mac].repeat(max_pairs);
     let mut load_words = 0u64;
     let mut work_units = 0u64;
     // `(element, row slot, input row)` instances whose row reads vertical tap
@@ -490,7 +489,7 @@ fn run_resident_shard(
                         load_words += load_chunk_weights(
                             pe,
                             plan,
-                            chunk,
+                            chunk_idx,
                             stream,
                             group,
                             co0,
@@ -507,7 +506,6 @@ fn run_resident_shard(
                                 stream,
                                 group,
                                 b * stream,
-                                &uop_buf,
                                 layer,
                                 |k, slots| {
                                     let row = &mut buffer[base + (co0 + k) * width..][..width];
@@ -920,10 +918,10 @@ impl InferenceEngine {
     }
 
     /// Runs one PE-array layer for every element of `inputs` through the
-    /// pool: rows are round-robined over the plan's phase-major order into
-    /// `threads` shards (exactly the per-layer fast path's assignment, so
-    /// per-shard busy splits match it), each shard task covers all batch
-    /// elements, and results reduce in task-index order.
+    /// pool: rows are carved into wide phase-major slices over the plan's row
+    /// order via [`shard_for_position`] (exactly the per-layer fast path's
+    /// assignment, so per-shard busy splits match it), each shard task covers
+    /// all batch elements, and results reduce in task-index order.
     ///
     /// This is also the pool's **supervisor**: a worker that panics reports a
     /// typed [`MachineError::WorkerPanic`] and terminates, whereupon this
@@ -951,24 +949,25 @@ impl InferenceEngine {
         let width = layer.output.width;
         let co_count = layer.output.channels;
         let shards = self.threads.clamp(1, height.max(1));
-        // Round-robin over the phase-major row order (see
-        // `GanaxMachine::execute_planned`): every shard receives the same mix
-        // of shallow- and deep-phase rows.
+        // Wide slices over the phase-major row order (see
+        // `GanaxMachine::execute_planned`): contiguous row-order blocks stripe
+        // across shards, so each shard walks long runs of adjacent phases
+        // while still receiving the same mix of shallow- and deep-phase rows.
         let mut position = vec![0usize; height];
         for (pos, &oy) in plan.plan.row_order.iter().enumerate() {
             position[oy] = pos;
         }
         let mut shard_rows: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
         for oy in 0..height {
-            shard_rows[position[oy] % shards].push(oy);
+            shard_rows[shard_for_position(position[oy], height, shards)].push(oy);
         }
 
         let (reply_tx, reply_rx) = channel();
-        let meta: Vec<Vec<usize>> = shard_rows.clone();
+        let meta: Vec<Arc<Vec<usize>>> = shard_rows.into_iter().map(Arc::new).collect();
         let wave = self.wave_counter.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = lock_unpoisoned(&self.shared.state);
-            for (task_id, rows) in shard_rows.into_iter().enumerate() {
+            for (task_id, rows) in meta.iter().enumerate() {
                 state.tasks.push_back(ShardTask {
                     task_id,
                     wave,
@@ -977,12 +976,21 @@ impl InferenceEngine {
                     layer_index,
                     injector: Arc::clone(&self.injector),
                     inputs: Arc::clone(&inputs),
-                    rows,
+                    rows: Arc::clone(rows),
                     reply: reply_tx.clone(),
                 });
             }
         }
-        self.shared.available.notify_all();
+        // One wakeup per task when the wave cannot occupy the whole pool;
+        // otherwise a single broadcast. Either way no worker is woken only to
+        // find the queue already drained by its siblings.
+        if meta.len() < self.threads {
+            for _ in 0..meta.len() {
+                self.shared.available.notify_one();
+            }
+        } else {
+            self.shared.available.notify_all();
+        }
 
         let elements = inputs.len();
         let mut replies: Vec<Option<Result<ShardOutput, MachineError>>> =
@@ -1015,11 +1023,12 @@ impl InferenceEngine {
                                     layer_index,
                                     injector: Arc::clone(&self.injector),
                                     inputs: Arc::clone(&inputs),
-                                    rows: meta[task_id].clone(),
+                                    rows: Arc::clone(&meta[task_id]),
                                     reply: reply_tx.clone(),
                                 });
                             }
-                            self.shared.available.notify_all();
+                            // A single requeued shard needs exactly one worker.
+                            self.shared.available.notify_one();
                         }
                         result => {
                             if matches!(result, Err(MachineError::WorkerPanic { .. })) {

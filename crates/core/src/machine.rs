@@ -218,14 +218,23 @@ pub(crate) struct LayerPlan {
     pub(crate) column_runs: Vec<Option<ColumnRun>>,
     /// Consequential columns grouped into dispatchable chunks.
     pub(crate) chunks: Vec<ColumnChunk>,
-    /// Weight rows in `[(co * input_channels + ci) * kernel_h + ky]` order.
-    pub(crate) weight_rows: Vec<f32>,
-    /// Kernel width (length of one weight row).
-    pub(crate) kernel_w: usize,
+    /// Every chunk's gathered weight streams, pre-staged at plan time: for
+    /// chunk `x`, the stream of `(ky, ci, co)` starts at
+    /// `weight_stream_base[x] + ((ky * input_channels + ci) * output_channels
+    /// + co) * stream` and runs `stream = taps × cols` words. Weight gathering
+    /// is row-independent, so the seed path's per-(row × shard) re-gather —
+    /// the dominant duplicated work under threading — collapses to one
+    /// `memcpy` per dispatch. `co` is innermost so a whole channel group's
+    /// streams are one contiguous slice.
+    pub(crate) weight_streams: Vec<f32>,
+    /// Per chunk: base offset of its streams in `weight_streams`.
+    pub(crate) weight_stream_base: Vec<usize>,
     /// Kernel height (rows per `(co, ci)` filter plane).
     pub(crate) kernel_h: usize,
     /// Input channels (stride of the `co` index).
     pub(crate) input_channels: usize,
+    /// Output channels (stride of the `ci` index in the stream layout).
+    pub(crate) output_channels: usize,
 }
 
 impl LayerPlan {
@@ -340,22 +349,42 @@ impl LayerPlan {
                 }
             }
         }
+        // Stage every chunk's gathered weight streams once at plan time
+        // (they depend only on `(chunk, ky, ci, co)`, never on the output
+        // row), so the hot path loads weights with a straight copy instead
+        // of re-gathering the same stream for every row on every worker.
+        let total_stream: usize = chunks.iter().map(|c| c.taps * c.cols).sum();
+        let mut weight_streams = Vec::with_capacity(total_stream * kernel_h * ci_count * co_count);
+        let mut weight_stream_base = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            weight_stream_base.push(weight_streams.len());
+            for ky in 0..kernel_h {
+                for ci in 0..ci_count {
+                    for co in 0..co_count {
+                        let row = (co * ci_count + ci) * kernel_h + ky;
+                        let weight_row = &weight_rows[row * kernel_w..(row + 1) * kernel_w];
+                        weight_streams.extend(
+                            chunk
+                                .weight_offsets
+                                .iter()
+                                .map(|&offset| weight_row[offset as usize]),
+                        );
+                    }
+                }
+            }
+        }
+
         LayerPlan {
             row_taps,
             row_order,
             column_runs,
             chunks,
-            weight_rows,
-            kernel_w,
+            weight_streams,
+            weight_stream_base,
             kernel_h,
             input_channels: ci_count,
+            output_channels: co_count,
         }
-    }
-
-    /// The pre-gathered weight row for one `(co, ci, ky)` work unit.
-    pub(crate) fn weight_row(&self, co: usize, ci: usize, ky: usize) -> &[f32] {
-        let row = (co * self.input_channels + ci) * self.kernel_h + ky;
-        &self.weight_rows[row * self.kernel_w..(row + 1) * self.kernel_w]
     }
 }
 
@@ -427,6 +456,26 @@ impl ShardFaults<'_> {
         self.injector
             .emit_fault(self.layer_index, row, ordinal, lane)
     }
+}
+
+/// The shard owning the output row at phase-major position `pos`, shared by
+/// the per-layer scoped path and the engine's persistent pool so their
+/// per-shard busy splits agree.
+///
+/// Rows are dealt in contiguous phase-major *blocks* of roughly
+/// `height / (4 × shards)` rows, striped round-robin over the shards: each
+/// worker still samples every region of the phase-major order (so the
+/// shallow/deep phase mix stays balanced), but hands off work in wide slices
+/// instead of row-by-row interleaving. Small heights degrade to the old
+/// per-row round-robin (`block == 1`).
+///
+/// Row-to-shard assignment cannot affect results: each row's computation,
+/// fault sites ([`dispatch_ordinal_base`] and the row coordinate) and counter
+/// contributions are functions of the row alone, and the reduction sums
+/// disjoint per-row terms in a fixed order.
+pub(crate) fn shard_for_position(pos: usize, height: usize, shards: usize) -> usize {
+    let block = height.div_ceil(shards * 4).max(1);
+    (pos / block) % shards
 }
 
 /// The base dispatch ordinal of one `(ky, ci, chunk)` work unit — a pure
@@ -546,7 +595,7 @@ impl GanaxMachine {
         // One PE sizing governs both the plan (chunk/stream limits) and the
         // worker PEs, so chunks can never outgrow the engines executing them.
         // The sizing comes from the config (`GanaxConfig::sim_pe`; the
-        // roomy functional-validation default unless overridden).
+        // deep simulation default unless overridden).
         let pe_config = self.config.sim_pe;
         let plan = LayerPlan::build(layer, &params, weights, &pe_config);
         Ok(PlannedLayer { pe_config, plan })
@@ -604,11 +653,13 @@ impl GanaxMachine {
             {
                 vec![run_shard(layer, input, plan, pe_config, rows_by_oy, faults)]
             } else {
-                // Round-robin over the phase-major row order: rows of one
-                // phase share a tap count, so each worker receives the same
-                // mix of shallow- and deep-phase rows (assigning by raw `oy`
-                // would hand one worker every deep-phase row whenever
-                // `threads` divides the phase stride).
+                // Wide phase-major slices over the plan's row order: rows of
+                // one phase share a tap count, and block striping (see
+                // `shard_for_position`) keeps every worker's mix of shallow-
+                // and deep-phase rows balanced while handing off work in
+                // contiguous runs (assigning by raw `oy` would hand one
+                // worker every deep-phase row whenever `threads` divides the
+                // phase stride).
                 let mut position = vec![0usize; height];
                 for (pos, &oy) in plan.row_order.iter().enumerate() {
                     position[oy] = pos;
@@ -616,7 +667,7 @@ impl GanaxMachine {
                 let mut shards: Vec<Vec<(usize, Vec<&mut [f32]>)>> =
                     (0..threads).map(|_| Vec::new()).collect();
                 for (oy, rows) in rows_by_oy {
-                    shards[position[oy] % threads].push((oy, rows));
+                    shards[shard_for_position(position[oy], height, threads)].push((oy, rows));
                 }
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = shards
@@ -843,8 +894,6 @@ fn run_shard(
     faults: ShardFaults<'_>,
 ) -> Result<(u64, EventCounts, u64), MachineError> {
     let mut pe = ProcessingEngine::new(*pe_config);
-    let uop_buf: Vec<ExecUop> =
-        [ExecUop::Repeat, ExecUop::Mac].repeat(pe_config.uop_fifo_entries / 2);
     let mut load_words = 0u64;
     let mut work_units = 0u64;
 
@@ -884,7 +933,7 @@ fn run_shard(
                         load_words += load_chunk_weights(
                             &mut pe,
                             plan,
-                            chunk,
+                            chunk_idx,
                             stream,
                             group,
                             co0,
@@ -893,35 +942,26 @@ fn run_shard(
                             faults,
                             base + co0 as u64,
                         );
-                        retire_chunk_group(
-                            &mut pe,
-                            chunk,
-                            stream,
-                            group,
-                            0,
-                            &uop_buf,
-                            layer,
-                            |k, slots| {
-                                let row = &mut co_rows[co0 + k];
-                                let mut ox = chunk.ox_start;
-                                match faults.emit_fault(oy, base + co0 as u64, co0 + k) {
-                                    Some(EmitFault::StuckLane | EmitFault::DroppedUop) => {}
-                                    Some(EmitFault::DuplicatedUop) => {
-                                        for &value in slots {
-                                            row[ox] += value;
-                                            row[ox] += value;
-                                            ox += chunk.col_step;
-                                        }
-                                    }
-                                    None => {
-                                        for &value in slots {
-                                            row[ox] += value;
-                                            ox += chunk.col_step;
-                                        }
+                        retire_chunk_group(&mut pe, chunk, stream, group, 0, layer, |k, slots| {
+                            let row = &mut co_rows[co0 + k];
+                            let mut ox = chunk.ox_start;
+                            match faults.emit_fault(oy, base + co0 as u64, co0 + k) {
+                                Some(EmitFault::StuckLane | EmitFault::DroppedUop) => {}
+                                Some(EmitFault::DuplicatedUop) => {
+                                    for &value in slots {
+                                        row[ox] += value;
+                                        row[ox] += value;
+                                        ox += chunk.col_step;
                                     }
                                 }
-                            },
-                        )?;
+                                None => {
+                                    for &value in slots {
+                                        row[ox] += value;
+                                        ox += chunk.col_step;
+                                    }
+                                }
+                            }
+                        })?;
                         co0 += group;
                     }
                 }
@@ -971,11 +1011,18 @@ pub(crate) fn gather_chunk_input(
 /// loads are excluded from the reported counts by the callers). `ordinal`
 /// is the group's dispatch ordinal ([`dispatch_ordinal_base`]` + co0`),
 /// the coordinate of any scheduled weight corruption.
+///
+/// The streams were gathered once at plan time ([`LayerPlan::weight_streams`])
+/// so the load is a single contiguous copy. Scheduled corruption applies to
+/// the PE-local buffer *after* the copy — the shared plan is never mutated —
+/// and weight fault sites carry no row coordinate, so every load of the same
+/// `(ky, ci, chunk, group)` corrupts identically, exactly as the per-load
+/// gather did.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn load_chunk_weights(
     pe: &mut ProcessingEngine,
     plan: &LayerPlan,
-    chunk: &ColumnChunk,
+    chunk_idx: usize,
     stream: usize,
     group: usize,
     co0: usize,
@@ -984,13 +1031,10 @@ pub(crate) fn load_chunk_weights(
     faults: ShardFaults<'_>,
     ordinal: u64,
 ) -> u64 {
+    let base = plan.weight_stream_base[chunk_idx]
+        + ((ky * plan.input_channels + ci) * plan.output_channels + co0) * stream;
     pe.load_weights_with(group * stream, |buf| {
-        for (k, dst) in buf.chunks_exact_mut(stream).enumerate() {
-            let weight_row = plan.weight_row(co0 + k, ci, ky);
-            for (value, &offset) in dst.iter_mut().zip(&chunk.weight_offsets) {
-                *value = weight_row[offset as usize];
-            }
-        }
+        buf.copy_from_slice(&plan.weight_streams[base..base + group * stream]);
         faults.corrupt_weight_block(ordinal, buf);
     });
     (group * stream) as u64
@@ -1015,11 +1059,10 @@ pub(crate) fn retire_chunk_group(
     stream: usize,
     group: usize,
     input_base: usize,
-    uop_buf: &[ExecUop],
     layer: &Layer,
     mut emit: impl FnMut(usize, &[f32]),
 ) -> Result<(), MachineError> {
-    dispatch_group(pe, chunk, stream, group, input_base, uop_buf, layer)?;
+    dispatch_group(pe, chunk, stream, group, input_base, layer)?;
     pe.run_until_idle_burst(chunk_cycle_budget(chunk) * group as u64);
     if !pe.is_idle() {
         return Err(MachineError::Timeout {
@@ -1036,7 +1079,10 @@ pub(crate) fn retire_chunk_group(
 /// Configures the index generators for one chunk × channel-group dispatch
 /// and enqueues its µop pairs: the input generator replays the shared stream
 /// once per channel, the weight generator walks the concatenated per-channel
-/// streams, and the output generator hands each program its own word.
+/// streams, and the output generator hands each program its own word. The
+/// pairs are pushed virtually ([`ProcessingEngine::try_push_mac_pairs`]), so
+/// the µop FIFO records a count instead of materializing `2 × cols × group`
+/// entries and the PE retires the whole dispatch in closed form.
 ///
 /// `input_base` selects which resident input stream the dispatch reads: the
 /// input generator walks `[input_base, input_base + stream)` through its
@@ -1049,7 +1095,6 @@ fn dispatch_group(
     stream: usize,
     group: usize,
     input_base: usize,
-    uop_buf: &[ExecUop],
     layer: &Layer,
 ) -> Result<(), MachineError> {
     pe.configure_generator(
@@ -1084,7 +1129,7 @@ fn dispatch_group(
     );
     pe.start_all();
     pe.set_repeat(chunk.taps as u16);
-    pe.try_push_uops(&uop_buf[..2 * chunk.cols * group])
+    pe.try_push_mac_pairs(chunk.cols * group)
         .map_err(|_| MachineError::UopOverflow {
             layer: layer.name.clone(),
         })

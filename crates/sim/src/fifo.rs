@@ -196,16 +196,63 @@ impl AddrFifo {
 }
 
 /// A bounded FIFO of execute µops feeding the execute µ-engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Uniform `repeat`+`mac` dispatches are the overwhelmingly dominant traffic
+/// (the machine planner issues one such pair per output word), so the FIFO
+/// keeps them *virtual*: [`UopFifo::try_push_mac_pairs`] records a pair count
+/// instead of materializing `2n` entries, and the queue synthesizes the
+/// alternating `Repeat, Mac, Repeat, Mac, …` sequence on demand. Virtual and
+/// materialized queues are observationally identical — `pop`/`peek`/`iter`,
+/// lengths, capacity checks, and push/pop counters all agree — and compare
+/// equal through [`PartialEq`].
+///
+/// Invariant: when `virtual_uops > 0` the materialized deque is empty (a
+/// generic push first materializes), so the virtual region is always the
+/// entire queue: an alternating sequence ending in `Mac`. The front µop is
+/// therefore `Repeat` when `virtual_uops` is even and `Mac` (mid-pair) when
+/// it is odd.
+#[derive(Debug, Clone)]
 pub struct UopFifo {
     inner: Bounded<ExecUop>,
+    /// Count of µops held virtually as `repeat`+`mac` pairs (possibly minus a
+    /// consumed front `Repeat`), never materialized in `inner.items`.
+    virtual_uops: usize,
 }
+
+/// Statics so the synthesized iterator can hand out `&ExecUop` like the
+/// materialized deque does.
+static REPEAT_UOP: ExecUop = ExecUop::Repeat;
+static MAC_UOP: ExecUop = ExecUop::Mac;
 
 impl UopFifo {
     /// Creates a µop FIFO with the given capacity.
     pub fn new(capacity: usize) -> Self {
         UopFifo {
             inner: Bounded::new(capacity),
+            virtual_uops: 0,
+        }
+    }
+
+    /// The µop at queue position `i` of the virtual region, given `total`
+    /// virtual µops remain: parity of the remaining count at that position
+    /// decides `Repeat` (even) vs `Mac` (odd).
+    fn virtual_at(total: usize, i: usize) -> ExecUop {
+        if (total - i) % 2 == 0 {
+            ExecUop::Repeat
+        } else {
+            ExecUop::Mac
+        }
+    }
+
+    /// Converts the virtual pair count into materialized entries (push
+    /// counters were already charged when the pairs were accepted).
+    fn materialize(&mut self) {
+        debug_assert!(self.virtual_uops == 0 || self.inner.items.is_empty());
+        while self.virtual_uops > 0 {
+            self.inner
+                .items
+                .push_back(Self::virtual_at(self.virtual_uops, 0));
+            self.virtual_uops -= 1;
         }
     }
 
@@ -214,6 +261,12 @@ impl UopFifo {
     /// # Errors
     /// Returns [`FifoError`] when the FIFO is full.
     pub fn push(&mut self, uop: ExecUop) -> Result<(), FifoError> {
+        if self.is_full() {
+            return Err(FifoError {
+                capacity: self.inner.capacity,
+            });
+        }
+        self.materialize();
         self.inner.push(uop)
     }
 
@@ -223,54 +276,149 @@ impl UopFifo {
     /// # Errors
     /// Returns [`FifoError`] when the batch exceeds the free entries.
     pub fn push_all(&mut self, uops: &[ExecUop]) -> Result<(), FifoError> {
+        if self.len() + uops.len() > self.inner.capacity {
+            return Err(FifoError {
+                capacity: self.inner.capacity,
+            });
+        }
+        self.materialize();
         self.inner.push_all(uops)
+    }
+
+    /// Enqueues `pairs` uniform `repeat`+`mac` programs virtually: one
+    /// capacity check and a counter bump instead of `2 × pairs` deque writes.
+    /// Counted exactly like [`UopFifo::push_all`] of the same sequence. Falls
+    /// back to materialized entries when non-uniform µops are already queued.
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] when the batch exceeds the free entries.
+    pub fn try_push_mac_pairs(&mut self, pairs: usize) -> Result<(), FifoError> {
+        let uops = pairs * 2;
+        if self.len() + uops > self.inner.capacity {
+            return Err(FifoError {
+                capacity: self.inner.capacity,
+            });
+        }
+        if self.inner.items.is_empty() {
+            self.virtual_uops += uops;
+        } else {
+            for _ in 0..pairs {
+                self.inner.items.push_back(ExecUop::Repeat);
+                self.inner.items.push_back(ExecUop::Mac);
+            }
+        }
+        self.inner.pushes += uops as u64;
+        Ok(())
+    }
+
+    /// The whole queue as untouched uniform `repeat`+`mac` pairs, if that is
+    /// what it holds — the burst-stepping PE retires such a queue per dispatch
+    /// without walking it.
+    pub(crate) fn uniform_pairs(&self) -> Option<usize> {
+        (self.inner.items.is_empty() && self.virtual_uops > 0 && self.virtual_uops % 2 == 0)
+            .then_some(self.virtual_uops / 2)
     }
 
     /// Pops the oldest µop, if any.
     pub fn pop(&mut self) -> Option<ExecUop> {
-        self.inner.pop()
+        if let Some(uop) = self.inner.pop() {
+            return Some(uop);
+        }
+        if self.virtual_uops == 0 {
+            return None;
+        }
+        let uop = Self::virtual_at(self.virtual_uops, 0);
+        self.virtual_uops -= 1;
+        self.inner.pops += 1;
+        Some(uop)
     }
 
     /// Peeks at the oldest µop without consuming it.
     pub fn peek(&self) -> Option<ExecUop> {
-        self.inner.peek().copied()
+        self.inner
+            .peek()
+            .copied()
+            .or_else(|| (self.virtual_uops > 0).then(|| Self::virtual_at(self.virtual_uops, 0)))
     }
 
     /// Number of queued µops.
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.inner.len() + self.virtual_uops
     }
 
     /// Whether the FIFO holds no µops.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.len() == 0
     }
 
     /// Whether the FIFO is at capacity.
     pub fn is_full(&self) -> bool {
-        self.inner.is_full()
+        self.len() >= self.inner.capacity
     }
 
     /// Empties the FIFO and zeroes its counters in place (allocation kept).
     pub fn clear(&mut self) {
         self.inner.clear();
+        self.virtual_uops = 0;
     }
 
     /// Iterates the queued µops oldest-first without consuming them (the
     /// burst-stepping PE peeks ahead to recognize a dispatchable program).
     pub(crate) fn iter(&self) -> impl Iterator<Item = &ExecUop> {
-        self.inner.items.iter()
+        let total = self.virtual_uops;
+        self.inner.items.iter().chain((0..total).map(move |i| {
+            if (total - i) % 2 == 0 {
+                &REPEAT_UOP
+            } else {
+                &MAC_UOP
+            }
+        }))
     }
 
     /// Pops the oldest `n` µops as one drain — the burst-stepping PE fetches
     /// a whole proven program queue at once. Counted like `n` pops.
+    /// Materializes any virtual pairs first (the uniform fast path uses
+    /// [`UopFifo::consume_front`] instead and never lands here).
     pub(crate) fn drain_front(
         &mut self,
         n: usize,
     ) -> std::collections::vec_deque::Drain<'_, ExecUop> {
+        if self.virtual_uops > 0 {
+            self.materialize();
+        }
         self.inner.drain_front(n)
     }
+
+    /// Removes the oldest `n` µops without yielding them (counted like `n`
+    /// pops) — the per-dispatch retire path already knows their shape.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` µops are queued.
+    pub(crate) fn consume_front(&mut self, n: usize) {
+        assert!(n <= self.len(), "consume of {n} exceeds queue length");
+        let from_inner = n.min(self.inner.items.len());
+        if from_inner > 0 {
+            drop(self.inner.drain_front(from_inner));
+        }
+        let from_virtual = n - from_inner;
+        self.virtual_uops -= from_virtual;
+        self.inner.pops += from_virtual as u64;
+    }
 }
+
+/// Virtual and materialized queues with the same logical µop sequence and
+/// counter history are the same FIFO.
+impl PartialEq for UopFifo {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.capacity == other.inner.capacity
+            && self.inner.pushes == other.inner.pushes
+            && self.inner.pops == other.inner.pops
+            && self.len() == other.len()
+            && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for UopFifo {}
 
 #[cfg(test)]
 mod tests {
@@ -313,5 +461,107 @@ mod tests {
     #[test]
     fn fifo_error_displays_capacity() {
         assert!(FifoError { capacity: 8 }.to_string().contains('8'));
+    }
+
+    /// A materialized twin of `fifo` built by pushing the same logical
+    /// sequence µop by µop.
+    fn materialized_twin(fifo: &UopFifo, capacity: usize) -> UopFifo {
+        let mut twin = UopFifo::new(capacity);
+        for &uop in fifo.iter() {
+            twin.push(uop).unwrap();
+        }
+        twin
+    }
+
+    #[test]
+    fn virtual_pairs_match_materialized_pushes() {
+        let mut virt = UopFifo::new(16);
+        virt.try_push_mac_pairs(3).unwrap();
+        let mut mat = UopFifo::new(16);
+        mat.push_all(&[ExecUop::Repeat, ExecUop::Mac].repeat(3))
+            .unwrap();
+        assert_eq!(virt, mat);
+        assert_eq!(virt.len(), 6);
+        assert_eq!(virt.uniform_pairs(), Some(3));
+        assert_eq!(mat.uniform_pairs(), None);
+
+        // Popping synthesizes the alternating sequence and keeps parity.
+        assert_eq!(virt.pop(), Some(ExecUop::Repeat));
+        assert_eq!(virt.peek(), Some(ExecUop::Mac));
+        assert_eq!(virt.uniform_pairs(), None);
+        assert_eq!(virt.pop(), Some(ExecUop::Mac));
+        mat.pop();
+        mat.pop();
+        assert_eq!(virt, mat);
+        assert!(virt.iter().eq(mat.iter()));
+    }
+
+    #[test]
+    fn virtual_pairs_respect_capacity() {
+        let mut fifo = UopFifo::new(4);
+        assert!(fifo.try_push_mac_pairs(3).is_err());
+        fifo.try_push_mac_pairs(2).unwrap();
+        assert!(fifo.is_full());
+        assert!(fifo.push(ExecUop::Mac).is_err());
+        assert!(fifo.try_push_mac_pairs(1).is_err());
+        fifo.clear();
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.uniform_pairs(), None);
+    }
+
+    #[test]
+    fn generic_push_materializes_virtual_pairs() {
+        let mut fifo = UopFifo::new(8);
+        fifo.try_push_mac_pairs(2).unwrap();
+        fifo.push(ExecUop::Repeat).unwrap();
+        assert_eq!(fifo.len(), 5);
+        assert_eq!(fifo.uniform_pairs(), None);
+        let twin = materialized_twin(&fifo, 8);
+        assert!(fifo.iter().eq(twin.iter()));
+        // Pairs pushed behind materialized entries stay materialized.
+        fifo.try_push_mac_pairs(1).unwrap();
+        assert_eq!(fifo.len(), 7);
+        assert_eq!(
+            fifo.iter().copied().collect::<Vec<_>>()[5..],
+            [ExecUop::Repeat, ExecUop::Mac]
+        );
+    }
+
+    #[test]
+    fn consume_front_spans_materialized_and_virtual() {
+        let mut fifo = UopFifo::new(16);
+        fifo.push(ExecUop::Repeat).unwrap();
+        fifo.push(ExecUop::Mac).unwrap();
+        fifo.try_push_mac_pairs(3).unwrap();
+        fifo.consume_front(5);
+        assert_eq!(fifo.len(), 3);
+        // 2 + 6 pushed, 5 consumed: the queue resumes mid-pair.
+        assert_eq!(fifo.peek(), Some(ExecUop::Mac));
+        let mut drained = UopFifo::new(16);
+        drained
+            .push_all(&[ExecUop::Mac, ExecUop::Repeat, ExecUop::Mac])
+            .unwrap();
+        assert!(fifo.iter().eq(drained.iter()));
+
+        // A purely virtual queue consumes pairs without materializing.
+        let mut virt = UopFifo::new(16);
+        virt.try_push_mac_pairs(3).unwrap();
+        virt.consume_front(4);
+        assert_eq!(virt.len(), 2);
+        assert_eq!(virt.peek(), Some(ExecUop::Repeat));
+        assert_eq!(virt.uniform_pairs(), Some(1));
+    }
+
+    #[test]
+    fn drain_front_materializes_virtual_pairs() {
+        let mut fifo = UopFifo::new(16);
+        fifo.try_push_mac_pairs(4).unwrap();
+        let drained: Vec<ExecUop> = fifo.drain_front(3).collect();
+        assert_eq!(
+            drained,
+            vec![ExecUop::Repeat, ExecUop::Mac, ExecUop::Repeat]
+        );
+        assert_eq!(fifo.len(), 5);
+        assert_eq!(fifo.peek(), Some(ExecUop::Mac));
     }
 }

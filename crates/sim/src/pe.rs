@@ -52,6 +52,26 @@ impl PeConfig {
             uop_fifo_entries: 256,
         }
     }
+
+    /// The deep simulation configuration `GanaxConfig::paper` installs for
+    /// its worker PEs (`sim_pe`): the same microarchitecture as
+    /// [`PeConfig::roomy`] with scratchpads and µop FIFO sized so one
+    /// dispatch covers a whole channel group of a full-size Table I layer.
+    /// Dispatch *count* is what the per-dispatch retire path amortizes its
+    /// fixed bookkeeping over, so deeper buffers directly shrink simulation
+    /// wall-clock; modeled activity is invariant to the depth (operand
+    /// traffic, µop fetches and busy cycles count programs and words, not
+    /// dispatches). Capacities stay well inside the `u16` address space the
+    /// index generators require.
+    pub fn deep() -> Self {
+        PeConfig {
+            input_words: 16384,
+            weight_words: 16384,
+            output_words: 16384,
+            addr_fifo_entries: 8,
+            uop_fifo_entries: 8192,
+        }
+    }
 }
 
 impl Default for PeConfig {
@@ -236,6 +256,19 @@ impl ProcessingEngine {
         self.uop_fifo.push_all(uops)
     }
 
+    /// Pushes `pairs` uniform `repeat`+`mac` programs with a single capacity
+    /// check. The µop FIFO holds them virtually (a pair count instead of
+    /// `2 × pairs` queue entries), which both skips the per-µop queue traffic
+    /// and lets [`ProcessingEngine::step_burst`] recognize the whole dispatch
+    /// without walking the queue. Observationally identical to
+    /// [`ProcessingEngine::try_push_uops`] of the same sequence.
+    ///
+    /// # Errors
+    /// Returns [`FifoError`] (pushing nothing) when the batch does not fit.
+    pub fn try_push_mac_pairs(&mut self, pairs: usize) -> Result<(), FifoError> {
+        self.uop_fifo.try_push_mac_pairs(pairs)
+    }
+
     /// Whether the µop FIFO has room for another µop.
     pub fn can_accept_uop(&self) -> bool {
         !self.uop_fifo.is_full()
@@ -387,20 +420,30 @@ impl ProcessingEngine {
         let repeats = (self.execute.repeat_register() as u64).max(1);
         let pair_cap = (supply / repeats).min(out_queued + out_gen_supply);
         if pair_cap >= 1 {
-            let pairs = {
-                let mut pairs = 0u64;
-                let mut queue = self.uop_fifo.iter();
-                while pairs < pair_cap {
-                    match (queue.next(), queue.next()) {
-                        (Some(ExecUop::Repeat), Some(ExecUop::Mac)) => pairs += 1,
-                        _ => break,
+            // A virtually-held queue already knows it is all pairs; a
+            // materialized one is scanned tag by tag.
+            let pairs = match self.uop_fifo.uniform_pairs() {
+                Some(queued) => (queued as u64).min(pair_cap),
+                None => {
+                    let mut pairs = 0u64;
+                    let mut queue = self.uop_fifo.iter();
+                    while pairs < pair_cap {
+                        match (queue.next(), queue.next()) {
+                            (Some(ExecUop::Repeat), Some(ExecUop::Mac)) => pairs += 1,
+                            _ => break,
+                        }
                     }
+                    pairs
                 }
-                pairs
             };
             if pairs >= 1 {
                 let total = pairs * repeats;
-                self.retire_mac_programs(pairs, total, 2 * pairs as usize, Some(repeats));
+                // Per-dispatch retire: when the dispatch matches the
+                // machine's canonical shape the whole thing settles in
+                // closed form; anything else takes the per-program path.
+                if !self.retire_uniform_dispatch(pairs, repeats) {
+                    self.retire_mac_programs(pairs, total, 2 * pairs as usize, Some(repeats));
+                }
                 return total;
             }
         }
@@ -464,6 +507,170 @@ impl ProcessingEngine {
         }
         self.step();
         1
+    }
+
+    /// Retires `pairs` uniform `repeat`+`mac` programs of `repeats`
+    /// repetitions each as **one dispatch**, settling FIFO occupancy,
+    /// index-generator state, cycle counts and every [`EventCounts`] category
+    /// once in closed form instead of once per program. Returns `false`
+    /// (touching nothing) when the dispatch does not match the canonical
+    /// machine shape, and the caller falls back to the per-program
+    /// [`ProcessingEngine::retire_mac_programs`].
+    ///
+    /// The canonical shape, proven before any state moves:
+    /// * all three address FIFOs empty — every address comes straight off its
+    ///   generator, so FIFO traffic is pure pass-through accounting;
+    /// * input and weight generators in a step-1 wrap window (guarded against
+    ///   `u16` wraparound) — operand streams reduce to slice windows;
+    /// * the output generator in a step-1 wrap window with exactly one
+    ///   remaining address per program — write-backs land on a contiguous
+    ///   (or wrapping) slice and the output FIFO never materializes.
+    ///
+    /// The caller has already proven operand supply covers
+    /// `pairs × repeats` repetitions (the `pair_cap` bound), which with empty
+    /// FIFOs means each operand generator supplies the whole dispatch.
+    fn retire_uniform_dispatch(&mut self, pairs: u64, repeats: u64) -> bool {
+        let in_idx = AddrGenKind::Input.index();
+        let wt_idx = AddrGenKind::Weight.index();
+        let out_idx = AddrGenKind::Output.index();
+        let total = pairs * repeats;
+        let (gens, fifos, stall_cycles) = self.access.burst_parts();
+        if !fifos[in_idx].is_empty() || !fifos[wt_idx].is_empty() || !fifos[out_idx].is_empty() {
+            return false;
+        }
+        // Absolute scratchpad windows, as in the per-program path: the
+        // constant `offset` shifts the whole window and the wrap returns to
+        // the window base, mirroring `tick`'s `offset + (pos % end)`.
+        let window = |gen: &StridedIndexGenerator| -> Option<(usize, usize, usize)> {
+            let base = gen.offset() as usize;
+            gen.burst_wrap_window()
+                .filter(|&(_, end)| base + end as usize <= u16::MAX as usize + 1)
+                .map(|(current, end)| (base + current as usize, base + end as usize, base))
+        };
+        let (Some((mut in_pos, in_end, in_base)), Some((mut wt_pos, wt_end, wt_base))) =
+            (window(&gens[in_idx]), window(&gens[wt_idx]))
+        else {
+            return false;
+        };
+        let out_cap = fifos[out_idx].capacity() as u64;
+        let out_base = gens[out_idx].offset() as u64;
+        let Some((out_cur, out_end)) = gens[out_idx]
+            .burst_wrap_window()
+            .filter(|&(_, end)| out_base + end as u64 <= u16::MAX as u64 + 1)
+            .and_then(|(current, end)| {
+                let supply = gens[out_idx].remaining_addresses_up_to(total + out_cap + 1);
+                (supply == pairs).then_some((current as u64, end as u64))
+            })
+        else {
+            return false;
+        };
+
+        // Accumulate each program over the operand slice windows — same
+        // operation and order as `ExecuteEngine::execute`, so every f32
+        // result is bit-identical — and store it straight into the output
+        // scratchpad at the address the generator would have produced.
+        let in_data = self.input.contents();
+        let wt_data = self.weights.contents();
+        let out_data = self.output.contents_mut();
+        let mut acc = self.execute.accumulator();
+        let contiguous = (out_cur + pairs <= out_end).then(|| (out_base + out_cur) as usize);
+        let r = repeats as usize;
+        let aligned = contiguous.is_some()
+            && (in_end - in_base) % r == 0
+            && (in_end - in_pos) % r == 0
+            && (wt_end - wt_base) % r == 0
+            && (wt_end - wt_pos) % r == 0;
+        if aligned {
+            // The machine's dispatch shape: both operand windows hold whole
+            // programs and both positions sit on a program boundary, so the
+            // dispatch decomposes into *sweeps* — the longest stretch of
+            // whole programs before either window wraps. Inside a sweep every
+            // program is a straight `r`-word slice pair, so the hot loop
+            // carries no window arithmetic; all division happens here, once.
+            let out0 = contiguous.expect("aligned implies a contiguous output run");
+            let in_full = (in_end - in_base) / r;
+            let wt_full = (wt_end - wt_base) / r;
+            let mut in_avail = (in_end - in_pos) / r;
+            let mut wt_avail = (wt_end - wt_pos) / r;
+            let mut j = 0usize;
+            let mut left = pairs as usize;
+            while left > 0 {
+                let sweep = in_avail.min(wt_avail).min(left);
+                for _ in 0..sweep {
+                    let lhs = &in_data[in_pos..in_pos + r];
+                    let rhs = &wt_data[wt_pos..wt_pos + r];
+                    for (a, b) in lhs.iter().zip(rhs) {
+                        acc += a * b;
+                    }
+                    out_data[out0 + j] = acc;
+                    acc = 0.0;
+                    j += 1;
+                    in_pos += r;
+                    wt_pos += r;
+                }
+                left -= sweep;
+                in_avail -= sweep;
+                if in_avail == 0 {
+                    in_pos = in_base;
+                    in_avail = in_full;
+                }
+                wt_avail -= sweep;
+                if wt_avail == 0 {
+                    wt_pos = wt_base;
+                    wt_avail = wt_full;
+                }
+            }
+        } else {
+            // Off-boundary windows (mid-pair resume, wrapping output run):
+            // the general per-program loop splits runs at every wrap.
+            for j in 0..pairs {
+                let mut left = repeats as usize;
+                while left > 0 {
+                    let run = left.min(in_end - in_pos).min(wt_end - wt_pos);
+                    let lhs = &in_data[in_pos..in_pos + run];
+                    let rhs = &wt_data[wt_pos..wt_pos + run];
+                    for (a, b) in lhs.iter().zip(rhs) {
+                        acc += a * b;
+                    }
+                    in_pos += run;
+                    if in_pos == in_end {
+                        in_pos = in_base;
+                    }
+                    wt_pos += run;
+                    if wt_pos == wt_end {
+                        wt_pos = wt_base;
+                    }
+                    left -= run;
+                }
+                let addr = match contiguous {
+                    Some(abs) => abs + j as usize,
+                    None => (out_base + (out_cur + j) % out_end) as usize,
+                };
+                out_data[addr] = acc;
+                acc = 0.0;
+            }
+        }
+
+        // Settle once per dispatch what the per-program path settles once per
+        // program: µop fetches, operand pass-through and generator advances,
+        // output-generator stalls against the never-popped FIFO, scratchpad
+        // access counters, and the execute µ-engine's program count.
+        self.uop_fifo.consume_front(2 * pairs as usize);
+        self.uop_fetches += 2 * pairs;
+        fifos[in_idx].note_passthrough(total);
+        gens[in_idx].advance_wrapping(total);
+        fifos[wt_idx].note_passthrough(total);
+        gens[wt_idx].advance_wrapping(total);
+        *stall_cycles += uniform_output_stalls(pairs, repeats, out_cap);
+        fifos[out_idx].note_passthrough(pairs);
+        gens[out_idx].advance_wrapping(pairs);
+        self.input.charge_reads(total);
+        self.weights.charge_reads(total);
+        self.output.charge_writes(pairs);
+        self.execute.settle_mac_programs(total);
+        self.cycles += total;
+        self.busy_cycles += total;
+        true
     }
 
     /// Retires `programs` consecutive `repeat`+`mac` programs (`total`
@@ -850,6 +1057,45 @@ impl ProcessingEngine {
     }
 }
 
+/// Output-generator stall cycles over a uniform dispatch of `programs`
+/// write-backs of `repeats` repetitions each against an initially empty
+/// output FIFO of `cap` entries, in closed form.
+///
+/// Per program, the per-cycle semantics are: the generator pushes until the
+/// FIFO fills or every program's address is produced, each un-pushed cycle of
+/// a still-producing generator stalls, and the program's write-back pops one
+/// entry. Once the FIFO's free space collapses to a single entry it stays
+/// there (one push, one pop per program), so every remaining producing
+/// program except the last stalls for `repeats - 1` cycles — the tail
+/// collapses to one multiplication instead of a per-program `+=` of that
+/// constant delta.
+fn uniform_output_stalls(programs: u64, repeats: u64, cap: u64) -> u64 {
+    if repeats <= 1 {
+        return 0;
+    }
+    let mut stalls = 0u64;
+    let mut len = 0u64;
+    let mut produced = 0u64;
+    loop {
+        let remaining = programs - produced;
+        if remaining == 0 {
+            break;
+        }
+        if cap - len == 1 {
+            stalls += (remaining - 1) * (repeats - 1);
+            break;
+        }
+        let pushes = repeats.min(cap - len).min(remaining);
+        if remaining > pushes {
+            stalls += repeats - pushes;
+        }
+        len += pushes;
+        produced += pushes;
+        len -= 1;
+    }
+    stalls
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1045,6 +1291,40 @@ mod tests {
             pe.try_push_uop(ExecUop::Mac),
             Err(FifoError { capacity: 2 })
         );
+    }
+
+    /// The per-program output bookkeeping of `retire_mac_programs`'
+    /// fast-output branch, replicated verbatim as the oracle for the
+    /// closed-form `uniform_output_stalls`.
+    fn direct_output_stalls(programs: u64, repeats: u64, cap: u64) -> u64 {
+        let mut stalls = 0u64;
+        let mut len = 0u64;
+        let mut produced = 0u64;
+        for _ in 0..programs {
+            let pushes = repeats.min(cap - len).min(programs - produced);
+            if programs - produced > pushes {
+                stalls += repeats - pushes;
+            }
+            len += pushes;
+            produced += pushes;
+            len -= 1;
+        }
+        stalls
+    }
+
+    #[test]
+    fn uniform_output_stalls_matches_the_per_program_loop() {
+        for programs in 0..=40u64 {
+            for repeats in 1..=10u64 {
+                for cap in 1..=10u64 {
+                    assert_eq!(
+                        super::uniform_output_stalls(programs, repeats, cap),
+                        direct_output_stalls(programs, repeats, cap),
+                        "stall closed form diverged at programs={programs} repeats={repeats} cap={cap}"
+                    );
+                }
+            }
+        }
     }
 
     /// One `repeat`+`mac` program: generator configurations plus the armed
@@ -1293,6 +1573,119 @@ mod tests {
                 for _ in 0..cols {
                     pe.push_uop(ExecUop::Repeat);
                     pe.push_uop(ExecUop::Mac);
+                }
+            }
+            let budget = 512;
+            let ref_cycles = reference.run_until_idle(budget);
+            let fast_cycles = fast.run_until_idle_burst(budget);
+            prop_assert_eq!(ref_cycles, fast_cycles, "cycle counts diverged");
+            prop_assert_eq!(&reference, &fast, "PE state diverged");
+        }
+
+        /// Virtually-pushed uniform dispatches (`try_push_mac_pairs`) retire
+        /// bit-identically to a single-stepped PE fed the same µops one by
+        /// one — across operand offsets, replayed input rounds, operand
+        /// undersupply (forcing partial retirement through the per-program
+        /// fallback) and output FIFOs much smaller than the dispatch (the
+        /// stall steady-state collapse).
+        #[test]
+        fn prop_virtual_pair_dispatch_equals_single_step(
+            cols in 1u16..12,
+            taps in 1u16..6,
+            fifo_entries in 2usize..9,
+            in_offset in 0u16..24,
+            wt_offset in 0u16..16,
+            out_start in 0u16..4,
+            undersupply in 0u16..3,
+            rounds in 1u16..4,
+        ) {
+            let total = cols * taps;
+            let operand_end = total.saturating_sub(undersupply).max(1);
+            let in_end = operand_end.div_ceil(rounds).max(1);
+            let config = PeConfig {
+                input_words: 96,
+                weight_words: 96,
+                output_words: 16,
+                addr_fifo_entries: fifo_entries,
+                uop_fifo_entries: 32,
+            };
+            let data: Vec<f32> = (0..96).map(|i| (i as f32) * 0.29 - 4.0).collect();
+            let weights: Vec<f32> = (0..96).map(|i| 2.1 - (i as f32) * 0.17).collect();
+            let mut reference = ProcessingEngine::new(config);
+            reference.load_input(&data);
+            reference.load_weights(&weights);
+            let mut fast = reference.clone();
+            for pe in [&mut reference, &mut fast] {
+                pe.configure_generator(AddrGenKind::Input, GeneratorConfig {
+                    addr: 0, offset: in_offset, step: 1, end: in_end, repeat: rounds,
+                });
+                pe.configure_generator(AddrGenKind::Weight, GeneratorConfig {
+                    addr: 0, offset: wt_offset, step: 1, end: operand_end, repeat: 1,
+                });
+                pe.configure_linear(AddrGenKind::Output, out_start, 1, out_start + cols, 1);
+                pe.start_all();
+                pe.set_repeat(taps);
+            }
+            for _ in 0..cols {
+                reference.push_uop(ExecUop::Repeat);
+                reference.push_uop(ExecUop::Mac);
+            }
+            fast.try_push_mac_pairs(cols as usize).unwrap();
+            let budget = 1_024;
+            let ref_cycles = reference.run_until_idle(budget);
+            let fast_cycles = fast.run_until_idle_burst(budget);
+            prop_assert_eq!(ref_cycles, fast_cycles, "cycle counts diverged");
+            prop_assert_eq!(&reference, &fast, "PE state diverged");
+        }
+
+        /// Queues mixing materialized µops with virtual pairs — a lone `mac`
+        /// ahead of a pair batch (non-uniform repeats), or a pair batch
+        /// extended by hand-pushed µops (forcing materialization) — behave
+        /// exactly like a fully materialized queue under single stepping.
+        #[test]
+        fn prop_mixed_queue_with_virtual_pairs_equals_single_step(
+            cols in 1u16..8,
+            taps in 1u16..5,
+            fifo_entries in 2usize..9,
+            lead_mac in 0u16..2,
+            trail_pair in 0u16..2,
+        ) {
+            let total = lead_mac + cols * taps + trail_pair * taps;
+            let programs = lead_mac + cols + trail_pair;
+            let config = PeConfig {
+                input_words: 64,
+                weight_words: 64,
+                output_words: 16,
+                addr_fifo_entries: fifo_entries,
+                uop_fifo_entries: 32,
+            };
+            let data: Vec<f32> = (0..64).map(|i| (i as f32) * 0.47 - 2.5).collect();
+            let weights: Vec<f32> = (0..64).map(|i| 1.9 - (i as f32) * 0.13).collect();
+            let mut reference = ProcessingEngine::new(config);
+            reference.load_input(&data);
+            reference.load_weights(&weights);
+            let mut fast = reference.clone();
+            for pe in [&mut reference, &mut fast] {
+                pe.configure_linear(AddrGenKind::Input, 0, 1, total, 1);
+                pe.configure_linear(AddrGenKind::Weight, 0, 1, total, 1);
+                pe.configure_linear(AddrGenKind::Output, 0, 1, programs, 1);
+                pe.start_all();
+                pe.set_repeat(taps);
+            }
+            // Reference: the same logical sequence, µop by µop.
+            for _ in 0..lead_mac {
+                reference.push_uop(ExecUop::Mac);
+                fast.push_uop(ExecUop::Mac);
+            }
+            for _ in 0..cols {
+                reference.push_uop(ExecUop::Repeat);
+                reference.push_uop(ExecUop::Mac);
+            }
+            fast.try_push_mac_pairs(cols as usize).unwrap();
+            for _ in 0..trail_pair {
+                for uop in [ExecUop::Repeat, ExecUop::Mac] {
+                    reference.push_uop(uop);
+                    fast.push_uop(uop);
                 }
             }
             let budget = 512;

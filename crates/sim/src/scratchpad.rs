@@ -90,9 +90,22 @@ impl Scratchpad {
         self.reads += n;
     }
 
+    /// Charges `n` writes without touching data — the per-dispatch retire
+    /// path stores through [`Scratchpad::contents_mut`] and settles the
+    /// counter once.
+    pub(crate) fn charge_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
     /// The full contents (for draining results).
     pub fn contents(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable contents for uncounted bulk stores (pair with
+    /// [`Scratchpad::charge_writes`] to settle the counter).
+    pub(crate) fn contents_mut(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Number of counted reads.

@@ -386,13 +386,18 @@ proptest! {
     /// `EventCounts` bit-identical to the fault-free engine, the supervisor
     /// must have respawned the worker and requeued its shard, and the pool
     /// must still be alive for the next batch.
+    ///
+    /// `row_pick` spans well past the first wide-slice block (rows are
+    /// carved into contiguous phase-major blocks striped over shards, not
+    /// round-robined), so seeded kills land inside every shard's slice —
+    /// including deep in a block, mid-run — not just at row 0 of shard 0.
     #[test]
     fn prop_pool_recovers_bit_identically_from_seeded_worker_kill(
         pool_index in 0usize..3,
         model_index in 0usize..3,
         batch in 1usize..4,
         layer_pick in 0u64..8,
-        row_pick in 0u64..4,
+        row_pick in 0u64..24,
         seed in 0u64..1_000,
     ) {
         let pool = [1usize, 2, 4][pool_index];

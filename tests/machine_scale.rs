@@ -6,6 +6,7 @@
 
 use ganax::GanaxMachine;
 use ganax_bench::layer_tensors;
+use ganax_energy::EventCounts;
 use ganax_models::zoo;
 use ganax_models::Layer;
 use ganax_tensor::tconv;
@@ -50,6 +51,56 @@ fn full_size_dcgan_tconv3_matches_tensor_reference() {
             .expect("consequential MAC count"),
     );
     assert!(run.counts.alu_ops < layer.dense_macs());
+}
+
+/// Pins every activity counter on a tconv3-geometry slice (DCGAN's 5×5/2
+/// transposed convolution over 16×16, channels reduced to 8). The
+/// per-dispatch retire path settles `EventCounts` once per dispatch in
+/// closed form — stalls, µop fetches, scratchpad traffic — instead of
+/// accumulating per program, so any drift in those deltas (the historical
+/// failure mode was degenerate per-program accumulation of output-buffer
+/// writes and stalls) lands exactly here.
+#[test]
+fn tconv3_slice_event_counts_are_pinned() {
+    let network = zoo::reduced_generator("DCGAN", 8).expect("DCGAN is in the zoo");
+    let layer = network
+        .layers()
+        .iter()
+        .find(|l| l.name == "tconv3")
+        .expect("reduced DCGAN keeps tconv3")
+        .clone();
+    let params = layer.op.conv_params().expect("tconv3 is a tconv");
+    let (input, weights) = layer_tensors(&layer, 2024);
+    let run = GanaxMachine::paper()
+        .execute_layer(&layer, &input, &weights)
+        .expect("machine executes the slice");
+
+    // The pin is not arbitrary: ALU ops must equal both the busy-cycle count
+    // and the analytic consequential-MAC count for this geometry.
+    assert_eq!(run.counts.alu_ops, run.busy_pe_cycles);
+    assert_eq!(
+        run.counts.alu_ops,
+        params
+            .consequential_macs(layer.input, layer.output.channels)
+            .expect("consequential MAC count"),
+    );
+    assert_eq!(
+        run.counts,
+        EventCounts {
+            alu_ops: 379_456,
+            gated_ops: 0,
+            register_file_reads: 758_912,
+            register_file_writes: 157_696,
+            inter_pe_transfers: 157_696,
+            global_buffer_reads: 0,
+            global_buffer_writes: 0,
+            dram_reads: 0,
+            dram_writes: 0,
+            local_uop_fetches: 315_392,
+            global_uop_fetches: 0,
+        },
+        "per-dispatch count deltas drifted on the tconv3 slice"
+    );
 }
 
 #[test]
