@@ -33,6 +33,13 @@
 //! degradation curve plus the recovery activity (retries, respawns,
 //! requeued shards) per rate.
 //!
+//! The `integrity` section records the ABFT verification tax (a
+//! `Verify`-mode engine versus the `Off`-mode headline, asserted ≤ 15% on
+//! the full-size network) and — with `--faults` — the silent-corruption
+//! sweep: seeded finite-bit-flip schedules served under `VerifyAndHeal`,
+//! each asserted to detect, heal and return the bit-exact clean response
+//! with zero undetected escapes.
+//!
 //! Every path is asserted bit-identical to the staged baseline before its
 //! timing is reported.
 
@@ -120,6 +127,31 @@ fn main() {
             row.requeued_shards,
         );
         assert!(row.bit_identical, "fault-tolerance row lost bit-identity");
+    }
+
+    let integrity = &report.integrity;
+    println!(
+        "  integrity: off {:.1} ms  verify {:.1} ms  tax {:+.2}%  ({} checks/inference)",
+        integrity.off_warm_ms,
+        integrity.verify_warm_ms,
+        integrity.verify_overhead * 100.0,
+        integrity.checks_per_inference,
+    );
+    for row in &integrity.corruption {
+        println!(
+            "  corruption {:>11} seed {:>3} layer {}  injected {:>4}  detected {:>3}  healed {:>3}  undetected {}",
+            row.kind, row.seed, row.layer, row.injected, row.detected, row.rows_healed, row.undetected,
+        );
+        assert!(row.bit_identical, "silent-corruption row lost bit-identity");
+        assert_eq!(row.undetected, 0, "silent corruption escaped the checksums");
+    }
+    if !integrity.corruption.is_empty() {
+        println!(
+            "  corruption sweep: {} flips injected, {} detected ({:.1}% coverage), zero escapes",
+            integrity.flips_injected,
+            integrity.flips_detected,
+            integrity.detection_coverage * 100.0,
+        );
     }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

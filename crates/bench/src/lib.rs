@@ -22,7 +22,7 @@ use ganax::compare::{compare_all, geometric_mean, ModelComparison, SimulatedComp
 use ganax::serve::{ServeConfig, Server};
 use ganax::sweep::MachineSweepCell;
 use ganax::{
-    DesignSummary, FaultKind, FaultSpec, GanaxConfig, GanaxMachine, InferenceEngine,
+    DesignSummary, FaultKind, FaultSpec, GanaxConfig, GanaxMachine, InferenceEngine, IntegrityMode,
     NetworkWeights, SweepCell, SweepSpec,
 };
 use ganax_energy::EnergyCategory;
@@ -835,6 +835,79 @@ pub struct ServeBenchReport {
     /// degradation versus seeded fault rate, with recovery activity per
     /// row. Empty when the sweep was not requested.
     pub fault_tolerance: Vec<FaultToleranceRow>,
+    /// Computation-integrity report: the ABFT verification tax on the warm
+    /// path, and — with `--faults` — the silent-corruption sweep.
+    pub integrity: IntegrityReport,
+}
+
+/// One silent-corruption row of the `integrity` section: a fresh
+/// `VerifyAndHeal` [`Server`] serving one request while a seeded, sparse,
+/// layer-targeted finite-bit-flip schedule corrupts operand or weight
+/// streams. Every consequential flip must be flagged by the ABFT checksums
+/// and healed by surgical re-execution: the response is asserted
+/// bit-identical to the clean baseline and the undetected counter asserted
+/// zero before the row is recorded — zero silent escapes, end to end.
+#[derive(Debug, Clone, Serialize)]
+pub struct SilentCorruptionRow {
+    /// Flip kind: `"input-flip"` (gathered operand streams) or
+    /// `"weight-flip"` (staged weight streams, shared across rows).
+    pub kind: String,
+    /// Seed of the flip schedule (empirically chosen — see
+    /// [`integrity_bench`]).
+    pub seed: u64,
+    /// Machine layer index the schedule targets.
+    pub layer: i64,
+    /// Per-site firing rate in parts per million.
+    pub rate_ppm: u32,
+    /// Bit flips actually injected while serving the request.
+    pub injected: u64,
+    /// Checksum verifications performed.
+    pub checks: u64,
+    /// Row-slice checksum violations flagged (detections).
+    pub detected: u64,
+    /// Output-row slices re-executed and healed back to the clean result.
+    pub rows_healed: u64,
+    /// Corruption that escaped the checksums and was caught only by the
+    /// downstream finite-value screen — asserted zero.
+    pub undetected: u64,
+    /// Whether the served response matched the fault-free baseline bit for
+    /// bit (asserted, so a recorded row always says `true`).
+    pub bit_identical: bool,
+}
+
+/// The `integrity` section of `BENCH_serve.json`: what ABFT verification
+/// costs on the warm path, and what it catches under seeded silent
+/// corruption.
+#[derive(Debug, Clone, Serialize)]
+pub struct IntegrityReport {
+    /// Warm request latency with integrity checking off, in milliseconds
+    /// (best of 3), measured on a fresh engine immediately before the
+    /// `Verify`-mode twin — a paired measurement, so host-load drift over
+    /// the bench run cannot masquerade as checksum cost.
+    pub off_warm_ms: f64,
+    /// Warm request latency in `Verify` mode, in milliseconds (best of 3),
+    /// on an identical fresh engine.
+    pub verify_warm_ms: f64,
+    /// `verify_warm_ms / off_warm_ms - 1.0`: the verification tax. Asserted
+    /// ≤ 0.15 on the full-size network (quick timings on shared CI hosts
+    /// are too jittery to gate).
+    pub verify_overhead: f64,
+    /// Checksum verifications one `Verify`-mode inference performs.
+    pub checks_per_inference: u64,
+    /// Silent-corruption sweep (`--faults`): seeded finite-bit-flip
+    /// schedules served under `VerifyAndHeal`, each asserted to end
+    /// bit-identical with zero undetected escapes. Empty when the sweep was
+    /// not requested.
+    pub corruption: Vec<SilentCorruptionRow>,
+    /// Total flips injected across the sweep.
+    pub flips_injected: u64,
+    /// Total checksum violations flagged across the sweep.
+    pub flips_detected: u64,
+    /// Detected over injected — the recorded detection coverage. The
+    /// sweep's schedules are chosen so every consequential flip sits above
+    /// the checksum tolerance (asserted via bit-identity), so coverage
+    /// below 1.0 reflects flips that perturbed no output bit, not escapes.
+    pub detection_coverage: f64,
 }
 
 /// Runs the serving benchmark on the DCGAN generator (channel-capped at 64
@@ -850,6 +923,12 @@ pub struct ServeBenchReport {
 /// ([`fault_tolerance_bench`]): the async server under seeded maskable
 /// fault schedules at increasing rates, recording the throughput and p99
 /// degradation curve.
+///
+/// The `integrity` section ([`integrity_bench`]) always records the ABFT
+/// verification tax; with `faults` it additionally runs the
+/// silent-corruption sweep — seeded finite-bit-flip schedules served under
+/// `VerifyAndHeal`, asserted to end bit-identical with zero undetected
+/// escapes.
 pub fn serve_bench(
     quick: bool,
     thread_counts: &[usize],
@@ -989,6 +1068,8 @@ pub fn serve_bench(
         Vec::new()
     };
 
+    let integrity = integrity_bench(&network, &weights, &warm.output, threads, quick, faults);
+
     ServeBenchReport {
         bench: "serve".to_string(),
         quick,
@@ -1010,6 +1091,7 @@ pub fn serve_bench(
         offered_load,
         offered_load_peak_speedup,
         fault_tolerance,
+        integrity,
     }
 }
 
@@ -1114,6 +1196,196 @@ pub fn fault_tolerance_bench(
         });
     }
     rows
+}
+
+/// The silent-corruption schedules of the `integrity` section, per
+/// geometry: `(kind, seed, layer, rate_ppm)`. Each is a sparse,
+/// layer-targeted finite-bit-flip schedule that was empirically verified
+/// (see the seed-scan helper in `tests/integrity_scan.rs`) to inject at least
+/// one flip, flag at least one checksum violation, and heal back to the
+/// bit-exact clean output — a flip below the checksum tolerance that still
+/// flipped an output bit would fail the sweep's bit-identity assertion, so
+/// the hard-coded choice is re-proven on every run. The targeted layers are
+/// DCGAN's `tconv1`/`tconv4` (machine layers 1 and 4), whose short
+/// accumulation chains give the tightest tolerances.
+const CORRUPTION_SCHEDULES_QUICK: [(u32, u64, i64, u32); 4] = [
+    (FaultKind::INPUT_FLIP, 13, 1, 100),
+    (FaultKind::INPUT_FLIP, 11, 4, 100),
+    (FaultKind::WEIGHT_FLIP, 2, 4, 100),
+    (FaultKind::WEIGHT_FLIP, 6, 4, 100),
+];
+/// Full-size counterpart of [`CORRUPTION_SCHEDULES_QUICK`]; the geometry
+/// changes every site hash, so the seeds differ.
+const CORRUPTION_SCHEDULES_FULL: [(u32, u64, i64, u32); 4] = [
+    (FaultKind::INPUT_FLIP, 3, 4, 100),
+    (FaultKind::INPUT_FLIP, 11, 4, 100),
+    (FaultKind::WEIGHT_FLIP, 10, 4, 100),
+    (FaultKind::INPUT_FLIP, 19, 4, 100),
+];
+
+/// Runs the `integrity` section of `BENCH_serve.json`.
+///
+/// Always measures the ABFT verification tax as a **paired** comparison:
+/// fresh `Off`- and `Verify`-mode engines are timed back to back on the
+/// same warm request (best of 3 each), so host-load drift over the long
+/// bench run cannot masquerade as checksum cost. The verified output is
+/// asserted bit-identical to `expected` and the ratio asserted ≤ 1.15 on
+/// the full-size network.
+///
+/// With `faults`, additionally runs the silent-corruption sweep: for each
+/// schedule in `CORRUPTION_SCHEDULES_QUICK` / `CORRUPTION_SCHEDULES_FULL`,
+/// a fresh `VerifyAndHeal` [`Server`] over a flip-injecting machine serves
+/// one request. Detected violations heal below the serve retry layer
+/// (asserted: zero retries, zero failures); the response is asserted
+/// bit-identical to the clean baseline and the undetected counter asserted
+/// zero — no corruption reaches the client, loudly or silently.
+pub fn integrity_bench(
+    network: &Network,
+    weights: &NetworkWeights,
+    expected: &Tensor,
+    pool_threads: usize,
+    quick: bool,
+    faults: bool,
+) -> IntegrityReport {
+    let input = deterministic_tensor(network.input_shape(), 4099);
+
+    // The verification tax: identical fresh engines, timed back to back,
+    // differing only in IntegrityMode.
+    let off_engine = InferenceEngine::new(GanaxMachine::paper(), pool_threads);
+    let off_compiled = off_engine
+        .compile(network, weights)
+        .expect("network compiles");
+    let (off_run, off_warm_ms) = time_best_of(3, || {
+        off_engine
+            .execute(&off_compiled, &input)
+            .expect("off-mode warm request executes")
+    });
+    assert_eq!(&off_run.output, expected, "Off mode diverged from headline");
+    drop(off_engine);
+
+    let verify_engine = InferenceEngine::new(
+        GanaxMachine::new(
+            GanaxConfig::paper()
+                .with_integrity(IntegrityMode::Verify)
+                .expect("integrity mode is valid"),
+        ),
+        pool_threads,
+    );
+    let compiled = verify_engine
+        .compile(network, weights)
+        .expect("network compiles");
+    let (verify_run, verify_warm_ms) = time_best_of(3, || {
+        verify_engine
+            .execute(&compiled, &input)
+            .expect("verified warm request executes")
+    });
+    assert_eq!(
+        &verify_run.output, expected,
+        "Verify mode changed the served output"
+    );
+    assert!(
+        verify_engine.integrity_violations() == 0 && verify_engine.integrity_undetected() == 0,
+        "clean verified runs must not flag violations"
+    );
+    let checks = verify_engine.integrity_checks();
+    assert!(checks > 0, "Verify mode performed no checksum checks");
+    let checks_per_inference = checks / 3;
+    let verify_overhead = verify_warm_ms / off_warm_ms - 1.0;
+    if !quick {
+        assert!(
+            verify_overhead <= 0.15,
+            "verification tax {verify_overhead:.3} exceeds the 15% budget \
+             (off {off_warm_ms:.1} ms, verify {verify_warm_ms:.1} ms)"
+        );
+    }
+    drop(verify_engine);
+
+    let schedules: &[(u32, u64, i64, u32)] = if quick {
+        &CORRUPTION_SCHEDULES_QUICK
+    } else {
+        &CORRUPTION_SCHEDULES_FULL
+    };
+    let mut corruption = Vec::new();
+    if faults {
+        for &(kind, seed, layer, rate_ppm) in schedules {
+            let spec = FaultSpec {
+                layer,
+                ..FaultSpec::seeded(seed, rate_ppm, kind)
+            };
+            let machine = GanaxMachine::new(
+                GanaxConfig::paper()
+                    .with_fault(spec)
+                    .expect("flip spec is valid"),
+            );
+            let config = ServeConfig {
+                integrity: IntegrityMode::VerifyAndHeal,
+                ..ServeConfig::default()
+            };
+            let server = Server::new(InferenceEngine::new(machine, pool_threads), config)
+                .expect("server builds");
+            let model = server
+                .register(network, weights)
+                .expect("the network registers");
+            let response = server
+                .submit(model, input.clone())
+                .expect("queue has room")
+                .wait()
+                .expect("healed corruption must not fail the request");
+            assert_eq!(
+                &response.output, expected,
+                "corruption escaped into the served response (seed {seed})"
+            );
+            let stats = server.stats();
+            assert_eq!(stats.failed, 0, "no request may fail: {stats:?}");
+            assert_eq!(
+                stats.retries, 0,
+                "healing must happen below the serve retry layer"
+            );
+            assert!(
+                stats.rows_healed > 0,
+                "schedule (seed {seed}) detected nothing — stale seed choice?"
+            );
+            assert_eq!(
+                stats.integrity_undetected, 0,
+                "corruption escaped the checksums (seed {seed})"
+            );
+            let injected = server.engine().injected_faults();
+            assert!(injected > 0, "schedule (seed {seed}) is inert");
+            corruption.push(SilentCorruptionRow {
+                kind: if kind == FaultKind::INPUT_FLIP {
+                    "input-flip".to_string()
+                } else {
+                    "weight-flip".to_string()
+                },
+                seed,
+                layer,
+                rate_ppm,
+                injected,
+                checks: stats.integrity_checks,
+                detected: stats.integrity_violations,
+                rows_healed: stats.rows_healed,
+                undetected: stats.integrity_undetected,
+                bit_identical: true,
+            });
+        }
+    }
+
+    let flips_injected: u64 = corruption.iter().map(|r| r.injected).sum();
+    let flips_detected: u64 = corruption.iter().map(|r| r.detected).sum();
+    IntegrityReport {
+        off_warm_ms,
+        verify_warm_ms,
+        verify_overhead,
+        checks_per_inference,
+        corruption,
+        flips_injected,
+        flips_detected,
+        detection_coverage: if flips_injected > 0 {
+            flips_detected as f64 / flips_injected as f64
+        } else {
+            0.0
+        },
+    }
 }
 
 /// Base seed of the offered-load input stream; request `i` of every

@@ -33,7 +33,88 @@ use ganax_dataflow::ArrayConfig;
 use ganax_energy::{AreaModel, EnergyModel};
 use ganax_eyeriss::AcceleratorConfig;
 use ganax_sim::{FaultSpec, PeConfig};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Policy of the ABFT computation-integrity layer (Huang–Abraham checksums
+/// over the machine's linear per-layer dataflow).
+///
+/// The checksum invariant — `checksum(W) · checksum(x) ≈ checksum(y)` per
+/// output-row slice, under a deterministic geometry-scaled tolerance — is
+/// verified at shard-retire time, so a finite bit flip that would otherwise
+/// reach the client as a silently wrong image is caught where it happened.
+/// Verdicts are bit-identical at every pool size (the checksums are
+/// accumulated in a fixed order that does not depend on sharding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// No checksum verification — byte-identical behavior (outputs, counters
+    /// and fingerprints) to a build without the integrity layer.
+    #[default]
+    Off,
+    /// Verify every retired output-row slice; a mismatch fails the layer
+    /// immediately with the typed
+    /// [`MachineError::IntegrityViolation`](crate::MachineError::IntegrityViolation)
+    /// (fail-fast: detection without re-execution).
+    Verify,
+    /// Verify, and on a mismatch surgically re-execute just the offending
+    /// shards in a fresh fault epoch — bit-identical recovery without
+    /// redoing the layer. Only a *persistent* mismatch (one that reproduces
+    /// after healing) surfaces as
+    /// [`MachineError::IntegrityViolation`](crate::MachineError::IntegrityViolation).
+    VerifyAndHeal,
+}
+
+impl IntegrityMode {
+    /// The canonical JSON spelling (`"off"`, `"verify"`,
+    /// `"verify_and_heal"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Verify => "verify",
+            IntegrityMode::VerifyAndHeal => "verify_and_heal",
+        }
+    }
+
+    /// Whether any checksum verification runs at all.
+    pub fn verifies(&self) -> bool {
+        !matches!(self, IntegrityMode::Off)
+    }
+
+    /// Whether a detected mismatch is healed before it becomes an error.
+    pub fn heals(&self) -> bool {
+        matches!(self, IntegrityMode::VerifyAndHeal)
+    }
+}
+
+impl fmt::Display for IntegrityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Hand-written (the derive shim only handles structs): the mode serializes
+// as its canonical string, so config JSON stays human-editable.
+impl Serialize for IntegrityMode {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for IntegrityMode {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => match s.as_str() {
+                "off" => Ok(IntegrityMode::Off),
+                "verify" => Ok(IntegrityMode::Verify),
+                "verify_and_heal" => Ok(IntegrityMode::VerifyAndHeal),
+                other => Err(DeError::new(format!(
+                    "unknown integrity mode `{other}` (expected `off`, `verify` or \
+                     `verify_and_heal`)"
+                ))),
+            },
+            _ => Err(DeError::new("integrity mode must be a string")),
+        }
+    }
+}
 
 /// A typed configuration-validation error ([`GanaxConfig::validate`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -188,6 +269,12 @@ pub struct GanaxConfig {
     /// serving engine inject the scheduled faults deterministically — the
     /// same seed reproduces the same corruption at any thread count.
     pub fault: FaultSpec,
+    /// ABFT computation-integrity policy ([`IntegrityMode`], default
+    /// [`IntegrityMode::Off`]). When on, every retired output-row slice is
+    /// checksum-verified against the plan's precomputed weight checksums;
+    /// `VerifyAndHeal` additionally re-executes mismatching shards in a
+    /// fresh fault epoch before surfacing a violation.
+    pub integrity: IntegrityMode,
 }
 
 impl GanaxConfig {
@@ -199,6 +286,7 @@ impl GanaxConfig {
             sim_pe: PeConfig::deep(),
             area: AreaModel::table_iii(),
             fault: FaultSpec::disabled(),
+            integrity: IntegrityMode::Off,
         }
     }
 
@@ -260,6 +348,17 @@ impl GanaxConfig {
     /// rate are out of range.
     pub fn with_fault(mut self, fault: FaultSpec) -> Result<Self, ConfigError> {
         self.fault = fault;
+        self.validated()
+    }
+
+    /// Returns a copy with a different computation-integrity policy,
+    /// validated.
+    ///
+    /// # Errors
+    /// Propagates any validation failure of the modified config (the mode
+    /// itself is always valid; the `Result` keeps the builder chainable).
+    pub fn with_integrity(mut self, integrity: IntegrityMode) -> Result<Self, ConfigError> {
+        self.integrity = integrity;
         self.validated()
     }
 
@@ -566,11 +665,44 @@ mod tests {
             GanaxConfig::paper(),
             GanaxConfig::paper().with_geometry(8, 8).unwrap(),
             GanaxConfig::paper().with_frequency_hz(750.0e6).unwrap(),
+            GanaxConfig::paper()
+                .with_integrity(IntegrityMode::Verify)
+                .unwrap(),
+            GanaxConfig::paper()
+                .with_integrity(IntegrityMode::VerifyAndHeal)
+                .unwrap(),
         ] {
             let json = cfg.to_json().unwrap();
             let back = GanaxConfig::from_json(&json).unwrap();
             assert_eq!(back, cfg);
         }
+    }
+
+    #[test]
+    fn integrity_modes_parse_fingerprint_and_default_sanely() {
+        assert_eq!(IntegrityMode::default(), IntegrityMode::Off);
+        assert_eq!(GanaxConfig::paper().integrity, IntegrityMode::Off);
+        assert!(!IntegrityMode::Off.verifies());
+        assert!(IntegrityMode::Verify.verifies() && !IntegrityMode::Verify.heals());
+        assert!(IntegrityMode::VerifyAndHeal.verifies() && IntegrityMode::VerifyAndHeal.heals());
+
+        // Each mode fingerprints differently: plans built under one policy
+        // are never served as another.
+        let verify = GanaxConfig::paper()
+            .with_integrity(IntegrityMode::Verify)
+            .unwrap();
+        let heal = GanaxConfig::paper()
+            .with_integrity(IntegrityMode::VerifyAndHeal)
+            .unwrap();
+        assert_ne!(verify.fingerprint(), GanaxConfig::paper().fingerprint());
+        assert_ne!(verify.fingerprint(), heal.fingerprint());
+
+        // An unknown mode string is a malformed config, not a panic.
+        let json = verify.to_json().unwrap().replace("verify", "sometimes");
+        assert!(matches!(
+            GanaxConfig::from_json(&json).unwrap_err(),
+            ConfigError::Malformed { .. }
+        ));
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod serve;
 pub mod sweep;
 
 pub use compiler::GanaxCompiler;
-pub use config::{ConfigError, GanaxConfig};
+pub use config::{ConfigError, GanaxConfig, IntegrityMode};
 pub use engine::{BatchExecution, CompiledNetwork, InferenceEngine};
 pub use ganax_sim::{FaultKind, FaultPlan, FaultSpec};
 pub use machine::{GanaxMachine, MachineError, MachineRun};

@@ -51,7 +51,7 @@ use ganax_sim::{
 };
 use ganax_tensor::{ConvKind, ConvParams, Shape, Tensor, ZeroInsertion};
 
-use crate::config::{ConfigError, GanaxConfig};
+use crate::config::{ConfigError, GanaxConfig, IntegrityMode};
 
 /// Errors produced by the cycle-level machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,13 +101,29 @@ pub enum MachineError {
         /// What the dispatcher observed.
         detail: String,
     },
+    /// The ABFT checksum invariant `checksum(W)·checksum(x) ≈ checksum(y)`
+    /// failed for one or more output-row slices and (under
+    /// [`IntegrityMode::VerifyAndHeal`](crate::IntegrityMode::VerifyAndHeal))
+    /// surgical re-execution could not repair them — the corruption is
+    /// persistent, so a retry of the same request cannot succeed.
+    IntegrityViolation {
+        /// The layer whose checksums failed.
+        layer: String,
+        /// The offending output rows (sorted, deduplicated).
+        rows: Vec<usize>,
+    },
 }
 
 impl MachineError {
     /// Whether a retry of the same request can plausibly succeed: worker
     /// panics, non-finite outputs from transient corruption, PE timeouts and
     /// pool unavailability are transient (the serving layer retries them);
-    /// configuration, support and shape errors are permanent.
+    /// configuration, support and shape errors are permanent. An
+    /// [`MachineError::IntegrityViolation`] is also permanent: it only
+    /// surfaces after verification already re-executed the offending shards
+    /// in fresh fault epochs (or fail-fast verification was requested), so
+    /// the corruption is persistent and the serve retry loop must not spin
+    /// on it before the circuit breaker opens.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -139,6 +155,11 @@ impl fmt::Display for MachineError {
             MachineError::PoolUnavailable { detail } => {
                 write!(f, "worker pool unavailable: {detail}")
             }
+            MachineError::IntegrityViolation { layer, rows } => write!(
+                f,
+                "layer `{layer}` failed checksum verification on {} output row(s) {rows:?}",
+                rows.len()
+            ),
         }
     }
 }
@@ -229,6 +250,23 @@ pub(crate) struct LayerPlan {
     pub(crate) weight_streams: Vec<f32>,
     /// Per chunk: base offset of its streams in `weight_streams`.
     pub(crate) weight_stream_base: Vec<usize>,
+    /// ABFT weight checksums, precomputed at plan time: for chunk `x`, the
+    /// checksum stream of `(ky, ci)` starts at `checksum_stream_base[x] +
+    /// (ky * input_channels + ci) * stream` and holds, per stream element,
+    /// the f64 sum of that element's weight over every output channel
+    /// (`co` ascending — the Huang–Abraham column sum). Dotting a clean
+    /// gathered input stream with this predicts the sum of the work unit's
+    /// contributions across all output channels.
+    pub(crate) checksum_streams: Vec<f64>,
+    /// Companion magnitude streams: the same layout, holding the sum of
+    /// *absolute* weights over the output channels. Dotted with `|x|` this
+    /// upper-bounds the total product magnitude feeding a row — the scale
+    /// the verification tolerance is derived from (a cancellation-proof
+    /// bound, unlike `|checksum|`).
+    pub(crate) abs_checksum_streams: Vec<f64>,
+    /// Per chunk: base offset of its streams in `checksum_streams` /
+    /// `abs_checksum_streams`.
+    pub(crate) checksum_stream_base: Vec<usize>,
     /// Kernel height (rows per `(co, ci)` filter plane).
     pub(crate) kernel_h: usize,
     /// Input channels (stride of the `co` index).
@@ -356,8 +394,18 @@ impl LayerPlan {
         let total_stream: usize = chunks.iter().map(|c| c.taps * c.cols).sum();
         let mut weight_streams = Vec::with_capacity(total_stream * kernel_h * ci_count * co_count);
         let mut weight_stream_base = Vec::with_capacity(chunks.len());
+        // The ABFT column-sum checksums ride along: per `(chunk, ky, ci)`
+        // stream element, the (f64) sum of the weight over every output
+        // channel, plus the absolute-value companion that scales the
+        // verification tolerance. Both are cheap (one extra pass over data
+        // already being staged) and built unconditionally, so a plan is
+        // valid under every `IntegrityMode`.
+        let mut checksum_streams = Vec::with_capacity(total_stream * kernel_h * ci_count);
+        let mut abs_checksum_streams = Vec::with_capacity(total_stream * kernel_h * ci_count);
+        let mut checksum_stream_base = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             weight_stream_base.push(weight_streams.len());
+            checksum_stream_base.push(checksum_streams.len());
             for ky in 0..kernel_h {
                 for ci in 0..ci_count {
                     for co in 0..co_count {
@@ -370,6 +418,19 @@ impl LayerPlan {
                                 .map(|&offset| weight_row[offset as usize]),
                         );
                     }
+                    let stream = chunk.taps * chunk.cols;
+                    let group = &weight_streams[weight_streams.len() - co_count * stream..];
+                    for element in 0..stream {
+                        let mut sum = 0.0f64;
+                        let mut abs = 0.0f64;
+                        for co in 0..co_count {
+                            let w = f64::from(group[co * stream + element]);
+                            sum += w;
+                            abs += w.abs();
+                        }
+                        checksum_streams.push(sum);
+                        abs_checksum_streams.push(abs);
+                    }
                 }
             }
         }
@@ -381,10 +442,96 @@ impl LayerPlan {
             chunks,
             weight_streams,
             weight_stream_base,
+            checksum_streams,
+            abs_checksum_streams,
+            checksum_stream_base,
             kernel_h,
             input_channels: ci_count,
             output_channels: co_count,
         }
+    }
+}
+
+/// The ABFT checksum state of one output row, accumulated by the worker that
+/// executed it and verified at retire time. Every field is accumulated in
+/// `f64` in a fixed order that depends only on the layer plan — `ky`
+/// ascending, then `ci`, then chunk, then stream element for the predictions;
+/// channel-major row order for the observation — so the triple (and hence
+/// the verdict) is bit-identical on the scoped per-layer path, the engine's
+/// persistent pool, and every pool size.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct RowChecksum {
+    /// `checksum(W) · checksum(x)`: the f64 dot of every *clean* gathered
+    /// input stream with the plan's column-sum weight checksums.
+    pub(crate) predicted: f64,
+    /// `|W|-checksum · |x|`: an upper bound on the total product magnitude
+    /// feeding the row — the scale of legitimate f32 rounding noise.
+    pub(crate) magnitude: f64,
+    /// `checksum(y)`: the f64 sum of the row's produced f32 outputs over
+    /// every output channel and column.
+    pub(crate) observed: f64,
+}
+
+/// How many times `VerifyAndHeal` re-executes a layer's flagged rows (each
+/// round in a fresh fault epoch) before a still-failing checksum surfaces as
+/// [`MachineError::IntegrityViolation`]. Two rounds separate transient
+/// corruption (healed by round one) from persistent faults (which reproduce
+/// identically every epoch) without spinning.
+pub(crate) const MAX_HEAL_ROUNDS: u32 = 2;
+
+/// Safety factor of the verification tolerance: how many times the expected
+/// rounding-residual scale (`√chain · ε · magnitude` — the random-walk
+/// growth of f32 accumulation error over random operands) a checksum
+/// residual may reach before it is called a violation. Tuned empirically:
+/// clean full-size and reduced DCGAN/ArtGAN/MAGAN generators on continuous
+/// deterministic operands peak at 1.6e-2 of the unit scale (long chains stay
+/// under 1.2e-3), so 2.0 leaves ≥ 125× headroom against false positives — a
+/// false positive would surface as a *persistent* violation on clean data —
+/// while staying hundreds of times tighter than a worst-case-linear bound
+/// (`chain · ε`), which would let most seeded bit flips escape.
+const INTEGRITY_SAFETY: f64 = 2.0;
+
+/// The deterministic, geometry-scaled tolerance a row's checksum residual is
+/// compared against: proportional to the square root of the f32 accumulation
+/// chain feeding the row's outputs and to the accumulated product magnitude.
+/// A pure function of the plan and the (bit-identical) magnitude checksum,
+/// so every execution path reaches the same verdict.
+pub(crate) fn row_tolerance(plan: &LayerPlan, oy: usize, magnitude: f64) -> f64 {
+    let max_taps = plan.chunks.iter().map(|c| c.taps).max().unwrap_or(0);
+    let chain = plan.row_taps[oy].len() * plan.input_channels * max_taps + plan.output_channels;
+    INTEGRITY_SAFETY * f64::from(f32::EPSILON) * (chain as f64).sqrt() * magnitude + 1e-30
+}
+
+/// Whether one row's checksum triple satisfies the ABFT invariant. A NaN
+/// residual (poisoned output) fails the comparison and is flagged.
+pub(crate) fn row_checksum_ok(plan: &LayerPlan, oy: usize, check: &RowChecksum) -> bool {
+    let residual = (check.observed - check.predicted).abs();
+    residual <= row_tolerance(plan, oy, check.magnitude)
+}
+
+/// Folds one *clean* (pre-corruption) gathered input stream into a row's
+/// checksum accumulators: the predicted output checksum gains
+/// `Σ checksum(W)[el] · x[el]`, the magnitude bound gains
+/// `Σ |W|-checksum[el] · |x[el]|`. Must be called between gathering and
+/// fault corruption — corruption applies to the stream the PEs actually
+/// consume, so checksumming afterwards would make the prediction track the
+/// corruption instead of detecting it.
+pub(crate) fn accumulate_input_checksum(
+    plan: &LayerPlan,
+    chunk_idx: usize,
+    stream: usize,
+    ky: usize,
+    ci: usize,
+    clean: &[f32],
+    check: &mut RowChecksum,
+) {
+    let base = plan.checksum_stream_base[chunk_idx] + (ky * plan.input_channels + ci) * stream;
+    let csum = &plan.checksum_streams[base..base + stream];
+    let abs = &plan.abs_checksum_streams[base..base + stream];
+    for (element, &x) in clean.iter().enumerate() {
+        let x = f64::from(x);
+        check.predicted += csum[element] * x;
+        check.magnitude += abs[element] * x.abs();
     }
 }
 
@@ -525,6 +672,15 @@ impl GanaxMachine {
         &self.config
     }
 
+    /// Overrides the ABFT computation-integrity policy in place, leaving the
+    /// rest of the configuration (and everything derived from it except the
+    /// fingerprint) untouched. Used by the serving layer to apply a
+    /// [`ServeConfig`](crate::serve::ServeConfig) integrity override before
+    /// any artifact is compiled.
+    pub(crate) fn set_integrity(&mut self, integrity: IntegrityMode) {
+        self.config.integrity = integrity;
+    }
+
     /// Executes one 2-D convolution or transposed-convolution layer, returning
     /// the computed output and the activity counters.
     ///
@@ -633,6 +789,8 @@ impl GanaxMachine {
         let mut counts = EventCounts::default();
         let mut work_units = 0u64;
         let mut shard_busy = Vec::with_capacity(threads);
+        let verify = self.config.integrity.verifies();
+        let mut checks: Vec<(usize, RowChecksum)> = Vec::new();
         let injector = FaultInjector::new(self.config.fault);
         injector.begin_epoch();
         let faults = ShardFaults {
@@ -649,9 +807,12 @@ impl GanaxMachine {
             for (idx, row) in output.data_mut().chunks_mut(width).enumerate() {
                 rows_by_oy[idx % height].1.push(row);
             }
-            let shard_results: Vec<Result<(u64, EventCounts, u64), MachineError>> = if threads == 1
-            {
-                vec![run_shard(layer, input, plan, pe_config, rows_by_oy, faults)]
+            type ShardResult =
+                Result<(u64, EventCounts, u64, Vec<(usize, RowChecksum)>), MachineError>;
+            let shard_results: Vec<ShardResult> = if threads == 1 {
+                vec![run_shard(
+                    layer, input, plan, pe_config, rows_by_oy, faults, verify,
+                )]
             } else {
                 // Wide phase-major slices over the plan's row order: rows of
                 // one phase share a tap count, and block striping (see
@@ -674,7 +835,7 @@ impl GanaxMachine {
                         .into_iter()
                         .map(|shard| {
                             scope.spawn(move || {
-                                run_shard(layer, input, plan, pe_config, shard, faults)
+                                run_shard(layer, input, plan, pe_config, shard, faults, verify)
                             })
                         })
                         .collect();
@@ -694,13 +855,62 @@ impl GanaxMachine {
             // `u64` sums over disjoint work units, so they are identical for
             // every thread count and shard assignment.
             for result in shard_results {
-                let (busy_one, shard_counts, shard_units) = result?;
+                let (busy_one, shard_counts, shard_units, shard_checks) = result?;
                 busy += busy_one;
                 counts += shard_counts;
                 work_units += shard_units;
                 shard_busy.push(busy_one);
+                checks.extend(shard_checks);
             }
         }
+
+        // ABFT verification at retire time, with surgical healing: flagged
+        // rows re-execute in a fresh fault epoch (serially — they are the
+        // exception path) and only their slices are recomputed, so unflagged
+        // rows, the activity counters and the busy split keep their original
+        // (bit-identical at every thread count) values. Repair work is
+        // excluded from the counters entirely: corruption never changes what
+        // the clean computation would have counted.
+        if verify {
+            let mut rounds = 0u32;
+            loop {
+                let mut flagged: Vec<usize> = checks
+                    .iter()
+                    .filter(|(oy, check)| !row_checksum_ok(plan, *oy, check))
+                    .map(|(oy, _)| *oy)
+                    .collect();
+                if flagged.is_empty() {
+                    break;
+                }
+                flagged.sort_unstable();
+                flagged.dedup();
+                if !self.config.integrity.heals() || rounds >= MAX_HEAL_ROUNDS {
+                    return Err(MachineError::IntegrityViolation {
+                        layer: layer.name.clone(),
+                        rows: flagged,
+                    });
+                }
+                rounds += 1;
+                injector.begin_epoch();
+                let mut heal_rows: Vec<(usize, Vec<&mut [f32]>)> =
+                    flagged.iter().map(|&oy| (oy, Vec::new())).collect();
+                for (idx, row) in output.data_mut().chunks_mut(width).enumerate() {
+                    let oy = idx % height;
+                    if let Ok(slot) = flagged.binary_search(&oy) {
+                        row.fill(0.0);
+                        heal_rows[slot].1.push(row);
+                    }
+                }
+                let (_, _, _, healed) =
+                    run_shard(layer, input, plan, pe_config, heal_rows, faults, true)?;
+                for (oy, check) in &mut checks {
+                    if let Some(new) = healed.iter().find(|(h, _)| h == oy) {
+                        *check = new.1;
+                    }
+                }
+            }
+        }
+
         // Horizontal accumulation of each node's partial sums into the output
         // row (one hop per produced element).
         counts.inter_pe_transfers += work_units * width as u64;
@@ -892,10 +1102,12 @@ fn run_shard(
     pe_config: &PeConfig,
     shard: Vec<(usize, Vec<&mut [f32]>)>,
     faults: ShardFaults<'_>,
-) -> Result<(u64, EventCounts, u64), MachineError> {
+    verify: bool,
+) -> Result<(u64, EventCounts, u64, Vec<(usize, RowChecksum)>), MachineError> {
     let mut pe = ProcessingEngine::new(*pe_config);
     let mut load_words = 0u64;
     let mut work_units = 0u64;
+    let mut checks: Vec<(usize, RowChecksum)> = Vec::new();
 
     for (oy, mut co_rows) in shard {
         // On this scoped path an injected worker disturbance surfaces as a
@@ -913,6 +1125,7 @@ fn run_shard(
             }
             None => {}
         }
+        let mut check = RowChecksum::default();
         for &(ky, iy) in &plan.row_taps[oy] {
             for ci in 0..layer.input.channels {
                 work_units += co_rows.len() as u64;
@@ -922,6 +1135,13 @@ fn run_shard(
                     let stream = chunk.taps * chunk.cols;
                     pe.load_input_with(stream, |buf| {
                         gather_chunk_input(plan, chunk, input_row, buf);
+                        if verify {
+                            // Checksum the stream *before* corruption: the
+                            // prediction must track the clean computation.
+                            accumulate_input_checksum(
+                                plan, chunk_idx, stream, ky, ci, buf, &mut check,
+                            );
+                        }
                         faults.corrupt_input_stream(oy, base, buf);
                     });
                     load_words += stream as u64;
@@ -967,11 +1187,22 @@ fn run_shard(
                 }
             }
         }
+        if verify {
+            // The observed checksum walks the finished row channel-major
+            // (`co` ascending, columns ascending) — the same linear order
+            // the engine's resident buffer layout yields.
+            for row in &co_rows {
+                for &value in row.iter() {
+                    check.observed += f64::from(value);
+                }
+            }
+            checks.push((oy, check));
+        }
     }
 
     let mut counts = pe.counts();
     counts.register_file_writes -= load_words;
-    Ok((pe.busy_cycles(), counts, work_units))
+    Ok((pe.busy_cycles(), counts, work_units, checks))
 }
 
 /// The largest output-channel group one dispatch of `chunk` can carry: its

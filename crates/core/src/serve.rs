@@ -92,6 +92,7 @@ use ganax_energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use ganax_models::Network;
 use ganax_tensor::{Shape, Tensor};
 
+use crate::config::IntegrityMode;
 use crate::engine::{lock_unpoisoned, CompiledNetwork, InferenceEngine};
 use crate::machine::MachineError;
 use crate::network::NetworkWeights;
@@ -213,6 +214,12 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// How long an open breaker rejects before admitting one probe request.
     pub breaker_cooldown: Duration,
+    /// ABFT computation-integrity policy override. [`IntegrityMode::Off`]
+    /// (the default) defers to the engine's machine-level configuration —
+    /// byte-identical serving to a stack without the integrity layer; a
+    /// non-`Off` mode is applied to the engine at [`Server::new`], before
+    /// any artifact is compiled.
+    pub integrity: IntegrityMode,
 }
 
 impl Default for ServeConfig {
@@ -227,6 +234,7 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_millis(1),
             breaker_threshold: 4,
             breaker_cooldown: Duration::from_millis(100),
+            integrity: IntegrityMode::Off,
         }
     }
 }
@@ -390,6 +398,18 @@ pub struct ServeStats {
     pub work_units: u64,
     /// Activity counters aggregated over every completed wave.
     pub counts: EventCounts,
+    /// ABFT row-slice checksum verifications performed by the engine (0
+    /// under [`IntegrityMode::Off`]).
+    pub integrity_checks: u64,
+    /// Row-slice verifications that failed (every failed verdict counts,
+    /// including re-flags across healing rounds).
+    pub integrity_violations: u64,
+    /// Row slices surgically re-executed and merged back by
+    /// [`IntegrityMode::VerifyAndHeal`].
+    pub rows_healed: u64,
+    /// Corruptions that escaped ABFT verification and were only caught by
+    /// the downstream non-finite guard.
+    pub integrity_undetected: u64,
 }
 
 impl ServeStats {
@@ -448,6 +468,9 @@ pub struct ModelHealth {
     pub circuit: CircuitState,
     /// Consecutive final wave failures since the model's last success.
     pub consecutive_failures: u32,
+    /// Waves of this model that failed with a final (unhealable)
+    /// [`MachineError::IntegrityViolation`], over the model's lifetime.
+    pub integrity_violations: u64,
 }
 
 /// Health snapshot of the whole serving stack (see [`Server::health`]).
@@ -484,6 +507,8 @@ struct ModelEntry {
     input_shape: Shape,
     fingerprint: u64,
     breaker: Mutex<BreakerCore>,
+    /// Waves that failed with a final [`MachineError::IntegrityViolation`].
+    integrity_violations: AtomicU64,
 }
 
 impl ModelEntry {
@@ -664,8 +689,14 @@ impl Server {
     ///
     /// # Errors
     /// Returns [`ServeError::Config`] when a capacity or batch bound is zero.
-    pub fn new(engine: InferenceEngine, config: ServeConfig) -> Result<Self, ServeError> {
+    pub fn new(mut engine: InferenceEngine, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        // Apply the integrity override before the config fingerprint is
+        // taken and before anything compiles: the mode is part of the
+        // machine configuration every artifact records.
+        if config.integrity != IntegrityMode::Off {
+            engine.set_integrity(config.integrity);
+        }
         let config_fingerprint = engine.machine().config().fingerprint();
         let shared = Arc::new(ServerShared {
             id: SERVER_IDS.fetch_add(1, Ordering::Relaxed),
@@ -722,6 +753,7 @@ impl Server {
             input_shape: network.input_shape(),
             fingerprint: weights.fingerprint(network),
             breaker: Mutex::new(BreakerCore::new()),
+            integrity_violations: AtomicU64::new(0),
         });
         self.shared
             .plan_for(&entry)
@@ -842,6 +874,10 @@ impl Server {
         let mut stats = lock_unpoisoned(&self.shared.stats).clone();
         stats.respawns = self.shared.engine.respawns();
         stats.requeued_shards = self.shared.engine.requeued_shards();
+        stats.integrity_checks = self.shared.engine.integrity_checks();
+        stats.integrity_violations = self.shared.engine.integrity_violations();
+        stats.rows_healed = self.shared.engine.rows_healed();
+        stats.integrity_undetected = self.shared.engine.integrity_undetected();
         stats
     }
 
@@ -856,6 +892,7 @@ impl Server {
                     name: entry.name.clone(),
                     circuit: breaker.state,
                     consecutive_failures: breaker.failures,
+                    integrity_violations: entry.integrity_violations.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -999,6 +1036,12 @@ fn run_wave(shared: &ServerShared, wave_id: u64, model: usize, wave: Vec<Request
     }
 
     let fail = |error: MachineError, replies: Vec<(Instant, Sender<_>)>| {
+        if matches!(error, MachineError::IntegrityViolation { .. }) {
+            // A final integrity violation: detection worked but healing
+            // could not repair it (or Verify mode fails fast) — recorded
+            // per model so `health()` can name the corrupted model.
+            entry.integrity_violations.fetch_add(1, Ordering::Relaxed);
+        }
         {
             let mut stats = lock_unpoisoned(&shared.stats);
             stats.failed += replies.len() as u64;
@@ -1308,6 +1351,7 @@ mod tests {
             input_shape: network.input_shape(),
             fingerprint: 0,
             breaker: Mutex::new(BreakerCore::new()),
+            integrity_violations: AtomicU64::new(0),
         };
         let hour = Duration::from_secs(3600);
         assert!(entry.breaker_admits(hour), "closed admits");
